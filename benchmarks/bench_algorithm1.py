@@ -1,0 +1,89 @@
+"""E7/E8/E10 -- Algorithm 1: optimality and near-quadratic scaling.
+
+Three harnesses: (a) optimality against the exhaustive pseudo-Steiner
+solver on alpha-acyclic schema graphs, (b) runtime scaling of Algorithm 1
+alone as the schema grows (Theorem 4 promises O(|V| * |A|)), and
+(c) Corollary 4 -- both sides are tractable on beta-acyclic (interval)
+schema graphs.
+"""
+
+import random
+
+import pytest
+from conftest import record
+
+from repro.datasets.generators import (
+    random_alpha_schema_graph,
+    random_beta_schema_graph,
+    random_terminals,
+)
+from repro.steiner import (
+    pseudo_steiner_algorithm1,
+    pseudo_steiner_bruteforce,
+)
+
+
+def test_algorithm1_optimality(benchmark):
+    """E7: Algorithm 1 matches the exhaustive optimum on every instance."""
+    workload = []
+    for seed in range(10):
+        rng = random.Random(seed)
+        graph = random_alpha_schema_graph(5, rng=rng)
+        terminals = random_terminals(graph, 4, rng=rng)
+        workload.append((graph, terminals))
+
+    def run():
+        matches = 0
+        for graph, terminals in workload:
+            fast = pseudo_steiner_algorithm1(graph, terminals, side=2)
+            slow = pseudo_steiner_bruteforce(graph, terminals, side=2)
+            assert fast.side_count(2) == slow.side_count(2)
+            matches += 1
+        return matches
+
+    matches = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(benchmark, experiment="E7", instances=matches, mismatches=0)
+    assert matches == len(workload)
+
+
+@pytest.mark.parametrize("relations", [10, 20, 40, 80])
+def test_algorithm1_scaling(benchmark, relations):
+    """E8: runtime as the alpha-acyclic schema grows (polynomial trend)."""
+    rng = random.Random(relations)
+    graph = random_alpha_schema_graph(relations, max_arity=4, rng=rng)
+    terminals = random_terminals(graph, 6, rng=rng)
+
+    solution = benchmark(pseudo_steiner_algorithm1, graph, terminals, 2)
+    record(
+        benchmark,
+        experiment="E8",
+        relations=relations,
+        vertices=graph.number_of_vertices(),
+        edges=graph.number_of_edges(),
+        v2_count=solution.side_count(2),
+    )
+    solution.validate()
+
+
+@pytest.mark.parametrize("side", [1, 2])
+def test_corollary4_both_sides_on_beta_graphs(benchmark, side):
+    """E10: pseudo-Steiner w.r.t. either side is polynomial on (6,1)-chordal graphs."""
+    workload = []
+    for seed in range(6):
+        rng = random.Random(seed)
+        graph = random_beta_schema_graph(5, attributes=8, rng=rng)
+        terminals = random_terminals(graph, 3, rng=rng)
+        workload.append((graph, terminals))
+
+    def run():
+        matches = 0
+        for graph, terminals in workload:
+            fast = pseudo_steiner_algorithm1(graph, terminals, side=side)
+            slow = pseudo_steiner_bruteforce(graph, terminals, side=side)
+            assert fast.side_count(side) == slow.side_count(side)
+            matches += 1
+        return matches
+
+    matches = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(benchmark, experiment="E10", side=side, instances=matches)
+    assert matches == len(workload)

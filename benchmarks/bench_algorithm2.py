@@ -1,0 +1,84 @@
+"""E9/E11 -- Algorithm 2 on (6,2)-chordal graphs; the Fig. 3(c) caveat.
+
+Harnesses: (a) optimality of Algorithm 2 against the exhaustive solver,
+(b) runtime scaling on growing (6,2)-chordal graphs (Theorem 5 promises
+O(|V| * |A|)), and (c) the Section 3 remark that minimising one side's
+vertex count (Algorithm 1's objective) does not solve the full Steiner
+problem on (6,1)-chordal graphs.
+"""
+
+import random
+
+import pytest
+from conftest import record
+
+from repro.datasets.figures import figure3c_witness
+from repro.datasets.generators import random_62_chordal_graph, random_terminals
+from repro.steiner import (
+    pseudo_steiner_bruteforce,
+    steiner_algorithm2,
+    steiner_tree_bruteforce,
+)
+
+
+def test_algorithm2_optimality(benchmark):
+    """E9: Algorithm 2 matches the exact optimum instance by instance."""
+    workload = []
+    for seed in range(10):
+        rng = random.Random(seed)
+        graph = random_62_chordal_graph(4, rng=rng)
+        terminals = random_terminals(graph, 4, rng=rng)
+        workload.append((graph, terminals))
+
+    def run():
+        matches = 0
+        for graph, terminals in workload:
+            fast = steiner_algorithm2(graph, terminals)
+            exact = steiner_tree_bruteforce(graph, terminals)
+            assert fast.vertex_count() == exact.vertex_count()
+            matches += 1
+        return matches
+
+    matches = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(benchmark, experiment="E9", instances=matches, mismatches=0)
+    assert matches == len(workload)
+
+
+@pytest.mark.parametrize("blocks", [5, 10, 20, 40])
+def test_algorithm2_scaling(benchmark, blocks):
+    """E9 (scaling): Algorithm 2 runtime on growing (6,2)-chordal graphs."""
+    rng = random.Random(blocks)
+    graph = random_62_chordal_graph(blocks, rng=rng)
+    terminals = random_terminals(graph, 5, rng=rng)
+
+    solution = benchmark(steiner_algorithm2, graph, terminals)
+    record(
+        benchmark,
+        experiment="E9",
+        blocks=blocks,
+        vertices=graph.number_of_vertices(),
+        edges=graph.number_of_edges(),
+        tree_size=solution.vertex_count(),
+    )
+    solution.validate()
+
+
+def test_pseudo_steiner_is_not_steiner_on_61_graphs(benchmark):
+    """E11: the Fig. 3(c) witness -- V2-minimum covers can be non-Steiner."""
+
+    def run():
+        graph, terminals, quoted_cover = figure3c_witness()
+        pseudo = pseudo_steiner_bruteforce(graph, terminals, side=2)
+        steiner = steiner_tree_bruteforce(graph, terminals)
+        quoted_v2 = sum(1 for v in quoted_cover if graph.side_of(v) == 2)
+        return {
+            "pseudo_v2": pseudo.side_count(2),
+            "quoted_v2": quoted_v2,
+            "quoted_total": len(quoted_cover),
+            "steiner_total": steiner.vertex_count(),
+        }
+
+    stats = benchmark(run)
+    record(benchmark, experiment="E11", **stats)
+    assert stats["pseudo_v2"] == stats["quoted_v2"]
+    assert stats["steiner_total"] < stats["quoted_total"]

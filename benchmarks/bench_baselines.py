@@ -1,0 +1,70 @@
+"""E17 -- classical Steiner heuristics vs. the paper's exact polynomial algorithm.
+
+On (6,2)-chordal graphs Algorithm 2 is exact; the Takahashi-Matsuyama and
+Kou-Markowsky-Berman heuristics are polynomial but only approximate.  The
+harness measures both the solution quality gap and the runtimes.
+"""
+
+import random
+
+from conftest import record
+
+from repro.datasets.generators import random_62_chordal_graph, random_terminals
+from repro.steiner import (
+    kou_markowsky_berman,
+    shortest_path_heuristic,
+    steiner_algorithm2,
+    steiner_tree_bruteforce,
+)
+
+
+def _workload(instances=8, blocks=4):
+    workload = []
+    for seed in range(instances):
+        rng = random.Random(seed)
+        graph = random_62_chordal_graph(blocks, rng=rng)
+        terminals = random_terminals(graph, 4, rng=rng)
+        workload.append((graph, terminals))
+    return workload
+
+
+def test_quality_gap(benchmark):
+    """Solution quality: Algorithm 2 always optimal, heuristics sometimes not."""
+    workload = _workload()
+
+    def run():
+        totals = {"exact": 0, "algorithm2": 0, "kmb": 0, "tm": 0}
+        for graph, terminals in workload:
+            exact = steiner_tree_bruteforce(graph, terminals).vertex_count()
+            totals["exact"] += exact
+            totals["algorithm2"] += steiner_algorithm2(graph, terminals).vertex_count()
+            totals["kmb"] += kou_markowsky_berman(graph, terminals).vertex_count()
+            totals["tm"] += shortest_path_heuristic(graph, terminals).vertex_count()
+        return totals
+
+    totals = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(benchmark, experiment="E17", **totals)
+    assert totals["algorithm2"] == totals["exact"]
+    assert totals["kmb"] >= totals["exact"]
+    assert totals["tm"] >= totals["exact"]
+
+
+def test_algorithm2_runtime(benchmark):
+    graph = random_62_chordal_graph(12, rng=1)
+    terminals = random_terminals(graph, 5, rng=1)
+    solution = benchmark(steiner_algorithm2, graph, terminals)
+    record(benchmark, experiment="E17", solver="algorithm2", size=solution.vertex_count())
+
+
+def test_kmb_runtime(benchmark):
+    graph = random_62_chordal_graph(12, rng=1)
+    terminals = random_terminals(graph, 5, rng=1)
+    solution = benchmark(kou_markowsky_berman, graph, terminals)
+    record(benchmark, experiment="E17", solver="kmb", size=solution.vertex_count())
+
+
+def test_shortest_path_heuristic_runtime(benchmark):
+    graph = random_62_chordal_graph(12, rng=1)
+    terminals = random_terminals(graph, 5, rng=1)
+    solution = benchmark(shortest_path_heuristic, graph, terminals)
+    record(benchmark, experiment="E17", solver="takahashi-matsuyama", size=solution.vertex_count())

@@ -1,0 +1,68 @@
+"""E4 -- Corollary 2: class containments, and their properness (Fig. 5)."""
+
+from conftest import record
+
+from repro.chordality import (
+    is_41_chordal_bipartite,
+    is_61_chordal_bipartite,
+    is_62_chordal_bipartite,
+    is_side_chordal,
+    is_side_conformal,
+)
+from repro.datasets.figures import figure5_graph
+from repro.datasets.generators import (
+    random_62_chordal_graph,
+    random_beta_schema_graph,
+)
+from repro.graphs import random_bipartite
+
+
+def test_containment_chain_on_random_graphs(benchmark, rng):
+    """(4,1) ⊂ (6,2) ⊂ (6,1) ⊂ V_i-chordal+conformal, on mixed workloads."""
+    graphs = [random_bipartite(4, 4, rng.uniform(0.2, 0.6), rng=rng) for _ in range(40)]
+    graphs += [random_62_chordal_graph(4, rng=seed) for seed in range(10)]
+    graphs += [random_beta_schema_graph(5, rng=seed) for seed in range(10)]
+
+    def check():
+        counts = {"41": 0, "62": 0, "61": 0, "alpha_both": 0, "total": 0}
+        for graph in graphs:
+            c41 = is_41_chordal_bipartite(graph)
+            c62 = is_62_chordal_bipartite(graph)
+            c61 = is_61_chordal_bipartite(graph)
+            alpha_both = all(
+                is_side_chordal(graph, side) and is_side_conformal(graph, side)
+                for side in (1, 2)
+            )
+            if c41:
+                assert c62
+            if c62:
+                assert c61
+            if c61:
+                assert alpha_both
+            counts["total"] += 1
+            counts["41"] += c41
+            counts["62"] += c62
+            counts["61"] += c61
+            counts["alpha_both"] += alpha_both
+        return counts
+
+    counts = benchmark(check)
+    record(benchmark, experiment="E4", **counts)
+    # the chain must be monotone in the counts as well
+    assert counts["41"] <= counts["62"] <= counts["61"] <= counts["alpha_both"]
+
+
+def test_containment_is_proper(benchmark):
+    """Fig. 5: both alpha classes hold while (6,1)-chordality fails."""
+
+    def check():
+        graph = figure5_graph()
+        both_alpha = all(
+            is_side_chordal(graph, side) and is_side_conformal(graph, side)
+            for side in (1, 2)
+        )
+        return both_alpha and not is_61_chordal_bipartite(graph)
+
+    separated = benchmark(check)
+    record(benchmark, experiment="E4", proper_containment_witness=separated)
+    assert separated

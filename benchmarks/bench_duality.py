@@ -1,0 +1,59 @@
+"""E3 -- Corollary 1: Berge/gamma/beta acyclicity are self-dual, alpha is not."""
+
+import random
+
+from conftest import record
+
+from repro.datasets.figures import figure2_hypergraphs
+from repro.datasets.generators import random_hypergraph
+from repro.hypergraphs import (
+    is_alpha_acyclic,
+    is_berge_acyclic,
+    is_beta_acyclic,
+    is_gamma_acyclic,
+)
+
+
+def test_self_duality_of_berge_gamma_beta(benchmark, rng):
+    hypergraphs = [
+        random_hypergraph(rng.randint(3, 6), rng.randint(2, 6), rng=rng)
+        for _ in range(40)
+    ]
+    hypergraphs = [h for h in hypergraphs if not h.isolated_nodes()]
+
+    def check():
+        checked = 0
+        for hypergraph in hypergraphs:
+            dual = hypergraph.dual()
+            assert is_berge_acyclic(hypergraph) == is_berge_acyclic(dual)
+            assert is_gamma_acyclic(hypergraph) == is_gamma_acyclic(dual)
+            assert is_beta_acyclic(hypergraph) == is_beta_acyclic(dual)
+            checked += 1
+        return checked
+
+    checked = benchmark(check)
+    record(benchmark, experiment="E3", hypergraphs_checked=checked, violations=0)
+    assert checked > 0
+
+
+def test_alpha_is_not_self_dual(benchmark):
+    """The Fig. 2 witness plus a random search for further witnesses."""
+
+    def count_witnesses():
+        h1, h2 = figure2_hypergraphs()
+        assert is_alpha_acyclic(h2) and not is_alpha_acyclic(h1)
+        witnesses = 1
+        generator = random.Random(7)
+        for _ in range(60):
+            hypergraph = random_hypergraph(
+                generator.randint(3, 5), generator.randint(2, 5), rng=generator
+            )
+            if hypergraph.isolated_nodes():
+                continue
+            if is_alpha_acyclic(hypergraph) != is_alpha_acyclic(hypergraph.dual()):
+                witnesses += 1
+        return witnesses
+
+    witnesses = benchmark(count_witnesses)
+    record(benchmark, experiment="E3", alpha_duality_witnesses=witnesses)
+    assert witnesses >= 1

@@ -1,0 +1,97 @@
+"""E12/E13 -- good orderings: Corollary 5 and the Theorem 6 counterexample.
+
+The Corollary 5 harness samples orderings and terminal sets on (6,2)-chordal
+graphs and confirms greedy elimination always reaches the optimum; the
+Theorem 6 harness verifies -- exhaustively, through the same four-case
+decomposition as the paper's proof -- that no ordering of the Fig. 11 graph
+is good.
+"""
+
+import pytest
+from conftest import record
+
+from repro.core import (
+    minimum_cover_size,
+    sample_orderings_not_good,
+    verify_case_exhaustively,
+    verify_no_good_ordering,
+)
+from repro.core.good_ordering import fast_greedy_cover
+from repro.datasets.figures import figure11_cases, figure11_graph
+from repro.datasets.generators import random_62_chordal_graph, random_terminals
+
+
+def test_corollary5_sampled(benchmark, rng):
+    """E12: on (6,2)-chordal graphs every sampled ordering reaches the optimum."""
+    workload = []
+    for seed in range(6):
+        graph = random_62_chordal_graph(4, rng=seed)
+        terminals = random_terminals(graph, 3, rng=seed)
+        workload.append((graph, frozenset(terminals)))
+
+    def run():
+        trials = 0
+        for graph, terminals in workload:
+            optimum = minimum_cover_size(graph, terminals)
+            vertices = graph.sorted_vertices()
+            for _ in range(10):
+                order = list(vertices)
+                rng.shuffle(order)
+                cover = fast_greedy_cover(graph, terminals, order)
+                assert len(cover) == optimum
+                trials += 1
+        return trials
+
+    trials = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(benchmark, experiment="E12", orderings_checked=trials, failures=0)
+    assert trials == 60
+
+
+def test_theorem6_sampled(benchmark):
+    """E13 (fast form): 500 random orderings of the Fig. 11 graph all fail."""
+    graph = figure11_graph()
+    cases = figure11_cases()
+
+    verdict = benchmark.pedantic(
+        sample_orderings_not_good, args=(graph, cases), kwargs={"samples": 500, "rng": 1},
+        rounds=1, iterations=1,
+    )
+    record(benchmark, experiment="E13", sampled_orderings=500, all_defeated=verdict)
+    assert verdict
+
+
+@pytest.mark.parametrize("case_index", [0, 1, 2, 3])
+def test_theorem6_exhaustive_case(benchmark, case_index):
+    """E13 (exact form): exhaustive verification of one case of the proof.
+
+    Together the four cases cover every ordering of the graph, so passing
+    all four parametrisations is a complete computational proof that the
+    Fig. 11 graph has no good ordering.
+    """
+    graph = figure11_graph()
+    case = figure11_cases()[case_index]
+
+    verdict = benchmark.pedantic(
+        verify_case_exhaustively, args=(graph, case), rounds=1, iterations=1
+    )
+    record(
+        benchmark,
+        experiment="E13",
+        pivot=str(case.pivot),
+        witness=sorted(map(str, case.witness)),
+        case_holds=verdict,
+    )
+    assert verdict
+
+
+def test_theorem6_case_decomposition_is_complete(benchmark):
+    """The four cases share one hub set and provide one case per hub."""
+
+    def check():
+        cases = figure11_cases()
+        hubs = set(next(iter(cases)).hubs)
+        return {case.pivot for case in cases} == hubs and len(cases) == len(hubs)
+
+    complete = benchmark(check)
+    record(benchmark, experiment="E13", decomposition_complete=complete)
+    assert complete

@@ -1,0 +1,93 @@
+"""E5/E6 -- Theorem 2 and Corollary 3: the X3C reduction and the hardness gap.
+
+The harness measures the exact Steiner solver on growing X3C reductions
+(expected: combinatorial growth in the number of candidate triples) and the
+polynomial pseudo-Steiner algorithm on the same graphs (expected: runtime
+growing only polynomially), and verifies end-to-end that the Steiner budget
+answers the original X3C question.
+"""
+
+import time
+
+import pytest
+from conftest import record
+
+from repro.steiner import (
+    pseudo_steiner_algorithm1,
+    random_x3c_instance,
+    steiner_decision_answers_x3c,
+    steiner_tree_bruteforce,
+    x3c_to_steiner,
+)
+
+
+@pytest.mark.parametrize("q", [2, 3, 4])
+def test_exact_steiner_on_reduction(benchmark, q):
+    """Exact Steiner on the Theorem 2 graph: runtime grows with q."""
+    instance = random_x3c_instance(q, extra_triples=q, rng=q)
+    reduction = x3c_to_steiner(instance)
+
+    solution = benchmark(
+        steiner_tree_bruteforce, reduction.graph, reduction.terminals
+    )
+    answered_yes = steiner_decision_answers_x3c(reduction, solution.vertex_count())
+    record(
+        benchmark,
+        experiment="E5",
+        q=q,
+        vertices=reduction.graph.number_of_vertices(),
+        steiner_optimum=solution.vertex_count(),
+        budget=reduction.budget,
+        x3c_answer=answered_yes,
+    )
+    assert answered_yes == instance.has_exact_cover()
+
+
+@pytest.mark.parametrize("q", [2, 3, 4, 6, 8])
+def test_pseudo_steiner_on_reduction_is_polynomial(benchmark, q):
+    """Algorithm 1 on the same reduction graphs: stays fast as q grows (E6 contrast)."""
+    instance = random_x3c_instance(q, extra_triples=q, rng=q)
+    reduction = x3c_to_steiner(instance)
+
+    solution = benchmark(
+        pseudo_steiner_algorithm1, reduction.graph, reduction.terminals, 2
+    )
+    record(
+        benchmark,
+        experiment="E6",
+        q=q,
+        vertices=reduction.graph.number_of_vertices(),
+        v2_count=solution.side_count(2),
+    )
+    solution.validate()
+
+
+def test_hardness_gap_summary(benchmark):
+    """One-shot comparison table: exact vs. pseudo-Steiner time per q."""
+
+    def run():
+        rows = []
+        for q in (2, 3, 4):
+            instance = random_x3c_instance(q, extra_triples=q, rng=q)
+            reduction = x3c_to_steiner(instance)
+            start = time.perf_counter()
+            steiner_tree_bruteforce(reduction.graph, reduction.terminals)
+            exact_time = time.perf_counter() - start
+            start = time.perf_counter()
+            pseudo_steiner_algorithm1(reduction.graph, reduction.terminals, side=2)
+            pseudo_time = time.perf_counter() - start
+            rows.append((q, exact_time, pseudo_time))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(
+        benchmark,
+        experiment="E5/E6",
+        rows=[
+            {"q": q, "exact_s": round(e, 4), "pseudo_s": round(p, 4)}
+            for q, e, p in rows
+        ],
+    )
+    # the exact/pseudo runtime ratio must grow with q (the hardness gap)
+    ratios = [e / max(p, 1e-9) for _, e, p in rows]
+    assert ratios[-1] > ratios[0]

@@ -1,0 +1,59 @@
+"""E14/E16 -- the database motivation: query interpretation and semijoin programs."""
+
+import random
+
+from conftest import record
+
+from repro.datasets.figures import figure1_query, figure1_relational_schema
+from repro.datasets.generators import random_alpha_acyclic_schema
+from repro.semantic import QueryInterpreter, plain_join_plan, semijoin_program
+
+
+def test_figure1_query_interpretation(benchmark):
+    """E14: the EMPLOYEE/DATE query's minimal reading uses no auxiliary object."""
+    interpreter = QueryInterpreter(figure1_relational_schema())
+
+    best = benchmark(interpreter.minimal_interpretation, figure1_query())
+    record(
+        benchmark,
+        experiment="E14",
+        auxiliary_objects=len(best.auxiliary_objects),
+        objects=len(best.objects),
+    )
+    assert not best.auxiliary_objects
+
+
+def test_query_interpretation_on_large_schema(benchmark):
+    """E16: attribute queries over a 40-relation alpha-acyclic schema."""
+    schema = random_alpha_acyclic_schema(40, max_arity=4, rng=11)
+    interpreter = QueryInterpreter(schema)
+    attributes = sorted(schema.attributes(), key=repr)
+    rng = random.Random(5)
+    queries = [rng.sample(attributes, 3) for _ in range(5)]
+
+    def run():
+        relation_counts = []
+        for query in queries:
+            interpretation = interpreter.fewest_relations_interpretation(query)
+            relation_counts.append(len(interpreter.relations_of(interpretation)))
+        return relation_counts
+
+    counts = benchmark(run)
+    record(benchmark, experiment="E16", queries=len(queries), relations_used=counts)
+    assert all(count >= 1 for count in counts)
+
+
+def test_semijoin_program_matches_plain_join(benchmark):
+    """E16: the full reducer computes exactly the same answer as the plain join."""
+    schema = random_alpha_acyclic_schema(8, max_arity=4, rng=3)
+    database = schema.random_database(rows_per_relation=20, domain_size=4, rng=3)
+    names = schema.relation_names()
+
+    def run():
+        reduced = semijoin_program(schema, names).execute(database)
+        plain = plain_join_plan(names).execute(database)
+        assert reduced == plain
+        return len(reduced)
+
+    rows = benchmark(run)
+    record(benchmark, experiment="E16", join_result_rows=rows, relations=len(names))

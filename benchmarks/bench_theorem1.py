@@ -1,0 +1,112 @@
+"""E1/E2 -- Theorem 1: chordality <-> acyclicity, agreement and runtime.
+
+For every class pair the harness (a) verifies that the graph-side test and
+the hypergraph-side test agree on randomly generated workloads, and (b)
+times the *efficient* recognition pipeline (the quantity a schema-design
+tool would pay), showing it scales to schemas far beyond the reach of the
+definitional cycle-enumeration checks.
+"""
+
+import random
+
+from conftest import record
+
+from repro.chordality import (
+    is_61_chordal_bipartite,
+    is_62_chordal_bipartite,
+    is_mn_chordal,
+    is_side_chordal,
+    is_side_conformal,
+)
+from repro.datasets.generators import (
+    random_alpha_schema_graph,
+    random_beta_schema_graph,
+    random_gamma_schema_graph,
+)
+from repro.graphs import random_bipartite
+from repro.hypergraphs import (
+    hypergraph_of_side,
+    is_alpha_acyclic,
+    is_beta_acyclic,
+    is_gamma_acyclic,
+)
+
+
+def _random_graphs(count, size, rng):
+    return [
+        random_bipartite(size, size, rng.uniform(0.25, 0.5), rng=rng)
+        for _ in range(count)
+    ]
+
+
+def test_theorem1_agreement_small_graphs(benchmark, rng):
+    """Definitional and hypergraph-routed tests agree (small random graphs)."""
+    graphs = _random_graphs(30, 4, rng)
+
+    def check():
+        agreements = 0
+        for graph in graphs:
+            hypergraph = hypergraph_of_side(graph, 2)
+            if hypergraph.number_of_edges() == 0:
+                continue
+            assert is_mn_chordal(graph, 6, 1) == is_beta_acyclic(hypergraph)
+            assert is_mn_chordal(graph, 6, 2) == is_gamma_acyclic(hypergraph)
+            assert (
+                is_side_chordal(graph, 2, method="cycles")
+                and is_side_conformal(graph, 2, method="cliques")
+            ) == is_alpha_acyclic(hypergraph)
+            agreements += 1
+        return agreements
+
+    agreements = benchmark(check)
+    record(benchmark, experiment="E1/E2", graphs_checked=agreements, disagreements=0)
+    assert agreements > 0
+
+
+def test_efficient_recognition_scales(benchmark, rng):
+    """Efficient recognisers handle schema graphs with hundreds of vertices."""
+    graphs = [
+        random_beta_schema_graph(25, attributes=40, rng=random.Random(seed))
+        for seed in range(5)
+    ]
+
+    def classify_all():
+        results = []
+        for graph in graphs:
+            results.append(
+                (
+                    is_61_chordal_bipartite(graph),
+                    is_62_chordal_bipartite(graph),
+                    is_side_chordal(graph, 2) and is_side_conformal(graph, 2),
+                )
+            )
+        return results
+
+    results = benchmark(classify_all)
+    record(
+        benchmark,
+        experiment="E1/E2",
+        vertices=max(g.number_of_vertices() for g in graphs),
+        all_beta_class=all(r[0] for r in results),
+    )
+    # interval schemas are (6,1)-chordal and alpha on both sides
+    assert all(r[0] and r[2] for r in results)
+
+
+def test_class_generators_land_in_their_class(benchmark):
+    """Every per-class generator produces members of its class (shape check)."""
+
+    def check():
+        counts = {"gamma": 0, "beta": 0, "alpha": 0}
+        for seed in range(5):
+            assert is_62_chordal_bipartite(random_gamma_schema_graph(4, rng=seed))
+            counts["gamma"] += 1
+            assert is_61_chordal_bipartite(random_beta_schema_graph(6, rng=seed))
+            counts["beta"] += 1
+            graph = random_alpha_schema_graph(6, rng=seed)
+            assert is_side_chordal(graph, 2) and is_side_conformal(graph, 2)
+            counts["alpha"] += 1
+        return counts
+
+    counts = benchmark(check)
+    record(benchmark, experiment="E1", **counts)

@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harnesses.
+
+Every benchmark module regenerates the quantitative evidence for one
+experiment family of ``DESIGN.md`` (E1-E17) and records the headline
+numbers in ``benchmark.extra_info`` so they appear in the pytest-benchmark
+report; the prose interpretation lives in ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG shared by the harnesses."""
+    return random.Random(19850325)  # PODS 1985
+
+
+def record(benchmark, **info):
+    """Attach experiment metadata to a benchmark result."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value

@@ -1,0 +1,90 @@
+"""The Figure 1 scenario: interpreting the query {EMPLOYEE, DATE}.
+
+The introduction of the paper motivates minimal connections with an
+entity-relationship scheme: the user asks about EMPLOYEE and DATE, and the
+two readings are "employees with their birth date" (no auxiliary concept)
+and "employees with the date from which they work in a department" (through
+the WORKS relationship).  This script reproduces the scenario end-to-end:
+ranked interpretations over the schema graph, then execution of the chosen
+interpretation against a tiny database instance.
+
+Run with::
+
+    python examples/er_query_interpretation.py
+"""
+
+from repro.datasets.figures import figure1_query, figure1_relational_schema
+from repro.semantic import Database, QueryInterpreter, Relation
+
+
+def build_database() -> Database:
+    """A handful of rows so the join results are readable."""
+    return Database(
+        [
+            Relation(
+                "EMPLOYEE",
+                ["DATE", "E#", "ENAME"],
+                [
+                    {"E#": 1, "ENAME": "ada", "DATE": "1815-12-10"},
+                    {"E#": 2, "ENAME": "kurt", "DATE": "1906-04-28"},
+                ],
+            ),
+            Relation(
+                "DEPARTMENT",
+                ["D#", "DNAME"],
+                [{"D#": 10, "DNAME": "analysis"}, {"D#": 20, "DNAME": "logic"}],
+            ),
+            Relation(
+                "WORKS",
+                ["D#", "DATE", "E#"],
+                [
+                    {"E#": 1, "D#": 10, "DATE": "1842-01-01"},
+                    {"E#": 2, "D#": 20, "DATE": "1931-01-01"},
+                ],
+            ),
+        ]
+    )
+
+
+def main() -> None:
+    schema = figure1_relational_schema()
+    interpreter = QueryInterpreter(schema)
+    query = figure1_query()
+    print("query (object names only):", query)
+
+    print("\n=== interpretations, fewest auxiliary concepts first ===")
+    for interpretation in interpreter.interpretations(query, limit=4):
+        print(" ", interpretation.describe())
+
+    best = interpreter.minimal_interpretation(query)
+    print("\nminimal interpretation uses no auxiliary object:", not best.auxiliary_objects)
+    print("-> reading: 'list employees with their birth date'")
+
+    print("\n=== executing the minimal interpretation ===")
+    database = build_database()
+    answer = interpreter.answer(["ENAME", "DATE"], database)
+    for row in answer.rows():
+        print("  ", row)
+
+    print("\n=== the alternative reading through WORKS ===")
+    alternative = interpreter.answer(
+        ["ENAME", "DATE"],
+        database,
+        interpretation=None,
+        use_semijoins=True,
+    )
+    # force the WORKS reading by asking for the relation explicitly
+    works_reading = interpreter.minimal_interpretation(["ENAME", "WORKS", "DATE"])
+    relations = interpreter.relations_of(works_reading)
+    print("objects of the WORKS reading:", sorted(map(str, works_reading.objects)))
+    from repro.semantic import answer_query_over_connection
+
+    joined = answer_query_over_connection(schema, database, relations, ["ENAME", "DATE"])
+    print("-> reading: 'employees with the date from which they work in a department'")
+    for row in joined.rows():
+        print("  ", row)
+    assert alternative.rows() != joined.rows(), "the two readings differ on this instance"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Acyclicity degrees, Theorem 1 and semijoin programs on relational schemas.
+
+The script walks through the paper's Section 2 on concrete schemas: it
+classifies several schemas by acyclicity degree, shows the Theorem 1
+correspondence with the chordality class of the schema graph, builds a join
+tree for an alpha-acyclic schema and runs the resulting full-reducer
+semijoin program on a random database instance.
+
+Run with::
+
+    python examples/relational_acyclicity.py
+"""
+
+from repro import RelationalSchema
+from repro.core import classify_bipartite_graph
+from repro.hypergraphs import build_join_tree
+from repro.semantic import plain_join_plan, semijoin_program
+
+SCHEMAS = {
+    "tree (Berge-acyclic)": RelationalSchema(
+        {"R": ["a", "b"], "S": ["b", "c"], "T": ["c", "d"]}
+    ),
+    "nested (gamma-acyclic)": RelationalSchema(
+        {"R": ["a", "b", "c"], "S": ["a", "b"], "T": ["c", "d"]}
+    ),
+    "intervals (beta-acyclic)": RelationalSchema(
+        {"R": ["a1", "a2", "a3"], "S": ["a2", "a3", "a4"], "T": ["a3", "a4", "a5", "a6"]}
+    ),
+    "covered triangle (alpha-acyclic)": RelationalSchema(
+        {"R": ["a", "b"], "S": ["b", "c"], "T": ["a", "c"], "U": ["a", "b", "c"]}
+    ),
+    "triangle (cyclic)": RelationalSchema(
+        {"R": ["a", "b"], "S": ["b", "c"], "T": ["a", "c"]}
+    ),
+}
+
+
+def main() -> None:
+    print("=== acyclicity degree vs. chordality class (Theorem 1) ===")
+    header = f"{'schema':35s} {'degree':8s} {'graph class':18s}"
+    print(header)
+    print("-" * len(header))
+    for name, schema in SCHEMAS.items():
+        degree = schema.acyclicity_degree()
+        graph_class = classify_bipartite_graph(schema.schema_graph()).strongest_class
+        print(f"{name:35s} {degree:8s} {graph_class:18s}")
+
+    print("\n=== join tree and semijoin program for the alpha-acyclic schema ===")
+    schema = SCHEMAS["covered triangle (alpha-acyclic)"]
+    tree = build_join_tree(schema.hypergraph())
+    print("join tree edges:", sorted(tuple(sorted(map(str, e))) for e in tree.edges()))
+
+    plan = semijoin_program(schema, schema.relation_names())
+    for line in plan.describe():
+        print("  ", line)
+
+    database = schema.random_database(rows_per_relation=8, rng=42)
+    reduced = plan.execute(database)
+    plain = plain_join_plan(schema.relation_names()).execute(database)
+    print("semijoin-program result rows:", len(reduced))
+    print("plain-join result rows      :", len(plain))
+    print("identical results           :", reduced == plain)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,131 @@
+"""repro: chordality properties on bipartite graphs and minimal conceptual connections.
+
+A from-scratch reproduction of
+
+    G. Ausiello, A. D'Atri, M. Moscarini,
+    "Chordality Properties on Graphs and Minimal Conceptual Connections in
+    Semantic Data Models", PODS 1985 / JCSS 33(2), 1986.
+
+The package provides:
+
+* a graph and hypergraph substrate (``repro.graphs``, ``repro.hypergraphs``),
+* the chordality and acyclicity machinery of Section 2
+  (``repro.chordality``, Theorem 1 correspondences),
+* the Steiner / pseudo-Steiner algorithms and hardness gadgets of Section 3
+  (``repro.steiner``, ``repro.core``),
+* the semantic-data-model layer of the motivation -- entity-relationship
+  and relational schemas, query interpretation, join plans
+  (``repro.semantic``),
+* named figure instances and workload generators (``repro.datasets``).
+
+The most common entry points are re-exported here; see ``README.md`` for a
+guided tour and ``DESIGN.md`` for the experiment index.
+"""
+
+from repro.chordality import (
+    is_41_chordal_bipartite,
+    is_61_chordal_bipartite,
+    is_62_chordal_bipartite,
+    is_chordal,
+    is_chordal_bipartite,
+    is_mn_chordal,
+    is_side_chordal,
+    is_side_chordal_and_conformal,
+    is_side_conformal,
+)
+from repro.core import (
+    ChordalityReport,
+    MinimalConnectionFinder,
+    chordality_class,
+    classify_bipartite_graph,
+    is_cover,
+    is_good_ordering,
+    is_minimum_cover,
+    is_nonredundant_cover,
+    minimum_cover_size,
+)
+from repro.exceptions import (
+    BipartitenessError,
+    DisconnectedTerminalsError,
+    GraphError,
+    HypergraphError,
+    NotApplicableError,
+    ReproError,
+    ValidationError,
+)
+from repro.graphs import BipartiteGraph, Graph
+from repro.hypergraphs import (
+    Hypergraph,
+    acyclicity_degree,
+    is_alpha_acyclic,
+    is_berge_acyclic,
+    is_beta_acyclic,
+    is_gamma_acyclic,
+)
+from repro.semantic import (
+    Database,
+    ERSchema,
+    QueryInterpreter,
+    Relation,
+    RelationalSchema,
+)
+from repro.steiner import (
+    SteinerInstance,
+    SteinerSolution,
+    pseudo_steiner_algorithm1,
+    pseudo_steiner_bruteforce,
+    steiner_algorithm2,
+    steiner_tree_bruteforce,
+    steiner_tree_dreyfus_wagner,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BipartiteGraph",
+    "BipartitenessError",
+    "ChordalityReport",
+    "Database",
+    "DisconnectedTerminalsError",
+    "ERSchema",
+    "Graph",
+    "GraphError",
+    "Hypergraph",
+    "HypergraphError",
+    "MinimalConnectionFinder",
+    "NotApplicableError",
+    "QueryInterpreter",
+    "Relation",
+    "RelationalSchema",
+    "ReproError",
+    "SteinerInstance",
+    "SteinerSolution",
+    "ValidationError",
+    "acyclicity_degree",
+    "chordality_class",
+    "classify_bipartite_graph",
+    "is_41_chordal_bipartite",
+    "is_61_chordal_bipartite",
+    "is_62_chordal_bipartite",
+    "is_alpha_acyclic",
+    "is_berge_acyclic",
+    "is_beta_acyclic",
+    "is_chordal",
+    "is_chordal_bipartite",
+    "is_cover",
+    "is_gamma_acyclic",
+    "is_good_ordering",
+    "is_minimum_cover",
+    "is_mn_chordal",
+    "is_nonredundant_cover",
+    "is_side_chordal",
+    "is_side_chordal_and_conformal",
+    "is_side_conformal",
+    "minimum_cover_size",
+    "pseudo_steiner_algorithm1",
+    "pseudo_steiner_bruteforce",
+    "steiner_algorithm2",
+    "steiner_tree_bruteforce",
+    "steiner_tree_dreyfus_wagner",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""Chordality tests and elimination orderings."""
+
+from repro.chordality.chordal import is_chordal, perfect_elimination_ordering
+from repro.chordality.lexbfs import lexbfs_elimination_ordering, lexicographic_bfs
+from repro.chordality.mcs import maximum_cardinality_search, mcs_elimination_ordering
+from repro.chordality.mn_chordal import (
+    is_41_chordal_bipartite,
+    is_61_chordal_bipartite,
+    is_62_chordal_bipartite,
+    is_chordal_bipartite,
+    is_mn_chordal,
+)
+from repro.chordality.peo import (
+    elimination_fill_in,
+    greedy_simplicial_elimination,
+    is_perfect_elimination_ordering,
+    is_simplicial,
+)
+from repro.chordality.side_chordal import (
+    distance_two_graph,
+    is_side_chordal,
+    is_side_chordal_and_conformal,
+    is_side_conformal,
+)
+
+__all__ = [
+    "distance_two_graph",
+    "elimination_fill_in",
+    "greedy_simplicial_elimination",
+    "is_41_chordal_bipartite",
+    "is_61_chordal_bipartite",
+    "is_62_chordal_bipartite",
+    "is_chordal",
+    "is_chordal_bipartite",
+    "is_mn_chordal",
+    "is_perfect_elimination_ordering",
+    "is_side_chordal",
+    "is_side_chordal_and_conformal",
+    "is_side_conformal",
+    "is_simplicial",
+    "lexbfs_elimination_ordering",
+    "lexicographic_bfs",
+    "maximum_cardinality_search",
+    "mcs_elimination_ordering",
+    "perfect_elimination_ordering",
+]

@@ -1,0 +1,136 @@
+"""Classification of bipartite graphs by chordality / acyclicity class.
+
+The paper's results attach a different algorithmic status to each class:
+
+========================  =======================================  =========================
+bipartite graph class     associated schema class (Theorem 1)      minimal-connection status
+========================  =======================================  =========================
+(4,1)-chordal (forest)    Berge-acyclic                            trivial (unique paths)
+(6,2)-chordal             gamma-acyclic                            Steiner in P (Algorithm 2)
+(6,1)-chordal             beta-acyclic                             pseudo-Steiner in P (both
+                                                                   sides); Steiner open
+``V_i``-chordal+conformal alpha-acyclic (w.r.t. that side)         pseudo-Steiner w.r.t.
+                                                                   ``V_i`` in P (Algorithm 1);
+                                                                   Steiner NP-complete
+general bipartite         cyclic                                   Steiner NP-complete
+========================  =======================================  =========================
+
+:func:`classify_bipartite_graph` evaluates every membership; the resulting
+:class:`ChordalityReport` is what :class:`repro.core.connection.MinimalConnectionFinder`
+uses to pick an algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.chordality.mn_chordal import (
+    is_41_chordal_bipartite,
+    is_61_chordal_bipartite,
+    is_62_chordal_bipartite,
+)
+from repro.chordality.side_chordal import (
+    is_side_chordal,
+    is_side_chordal_and_conformal,
+    is_side_conformal,
+)
+from repro.exceptions import BipartitenessError
+from repro.graphs.bipartite import BipartiteGraph, is_bipartite
+from repro.graphs.graph import Graph
+from repro.hypergraphs.acyclicity import acyclicity_degree
+from repro.hypergraphs.conversions import hypergraph_of_side
+
+
+@dataclass(frozen=True)
+class ChordalityReport:
+    """Membership of one bipartite graph in every class used by the paper."""
+
+    chordal_41: bool
+    chordal_61: bool
+    chordal_62: bool
+    v1_chordal: bool
+    v1_conformal: bool
+    v2_chordal: bool
+    v2_conformal: bool
+
+    @property
+    def v1_alpha(self) -> bool:
+        """``V_1``-chordal and ``V_1``-conformal (``H_1`` alpha-acyclic)."""
+        return self.v1_chordal and self.v1_conformal
+
+    @property
+    def v2_alpha(self) -> bool:
+        """``V_2``-chordal and ``V_2``-conformal (``H_2`` alpha-acyclic)."""
+        return self.v2_chordal and self.v2_conformal
+
+    @property
+    def strongest_class(self) -> str:
+        """Name of the strongest symmetric class the graph belongs to."""
+        if self.chordal_41:
+            return "(4,1)-chordal"
+        if self.chordal_62:
+            return "(6,2)-chordal"
+        if self.chordal_61:
+            return "(6,1)-chordal"
+        if self.v1_alpha and self.v2_alpha:
+            return "V1- and V2-alpha"
+        if self.v1_alpha:
+            return "V1-alpha"
+        if self.v2_alpha:
+            return "V2-alpha"
+        return "general"
+
+    def steiner_tractable(self) -> bool:
+        """Is the full Steiner problem known to be polynomial on this graph?"""
+        return self.chordal_62 or self.chordal_41
+
+    def pseudo_steiner_tractable(self, side: int) -> bool:
+        """Is the pseudo-Steiner problem w.r.t. ``V_side`` known polynomial?"""
+        if side == 1:
+            return self.v1_alpha or self.chordal_61 or self.chordal_62 or self.chordal_41
+        if side == 2:
+            return self.v2_alpha or self.chordal_61 or self.chordal_62 or self.chordal_41
+        raise ValueError(f"side must be 1 or 2, got {side!r}")
+
+
+def classify_bipartite_graph(graph: Graph) -> ChordalityReport:
+    """Return the :class:`ChordalityReport` of a bipartite graph.
+
+    A plain :class:`Graph` is accepted as long as it is bipartite (a
+    2-colouring is computed); otherwise :class:`BipartitenessError` is
+    raised.
+    """
+    if isinstance(graph, BipartiteGraph):
+        bipartite = graph
+    else:
+        if not is_bipartite(graph):
+            raise BipartitenessError("classification requires a bipartite graph")
+        bipartite = BipartiteGraph.from_graph(graph)
+    return ChordalityReport(
+        chordal_41=is_41_chordal_bipartite(bipartite),
+        chordal_61=is_61_chordal_bipartite(bipartite),
+        chordal_62=is_62_chordal_bipartite(bipartite),
+        v1_chordal=is_side_chordal(bipartite, 1),
+        v1_conformal=is_side_conformal(bipartite, 1),
+        v2_chordal=is_side_chordal(bipartite, 2),
+        v2_conformal=is_side_conformal(bipartite, 2),
+    )
+
+
+def chordality_class(graph: Graph) -> str:
+    """Return the name of the strongest class (see :class:`ChordalityReport`)."""
+    return classify_bipartite_graph(graph).strongest_class
+
+
+def schema_acyclicity_degree(graph: BipartiteGraph, side: int = 2) -> str:
+    """Return the acyclicity degree of the schema hypergraph ``H_side(G)``.
+
+    Convenience bridge between the graph view and the database view: the
+    answer is one of ``"berge"``, ``"gamma"``, ``"beta"``, ``"alpha"`` or
+    ``"cyclic"``.
+    """
+    hypergraph = hypergraph_of_side(graph, side=side)
+    if hypergraph.number_of_edges() == 0:
+        return "berge"
+    return acyclicity_degree(hypergraph)

@@ -1,0 +1,194 @@
+"""Top-level minimal-connection API.
+
+The paper's motivating scenario (Section 1): a user states a query as a set
+of object names over a conceptual schema; the system must propose the
+connection among those objects that requires the fewest auxiliary concepts,
+and possibly enumerate further connections in order of increasing size for
+interactive disambiguation.
+
+:class:`MinimalConnectionFinder` packages that scenario over a bipartite
+schema graph.  It classifies the graph once (using
+:mod:`repro.core.classification`) and then dispatches every request to the
+strongest applicable algorithm:
+
+* (6,2)-chordal graphs -> Algorithm 2 (exact, polynomial);
+* ``V_i``-chordal + conformal graphs -> Algorithm 1 for pseudo-Steiner
+  requests w.r.t. ``V_i``;
+* small instances -> exact solvers (Dreyfus-Wagner / brute force);
+* everything else -> the KMB heuristic, with the result flagged as not
+  guaranteed optimal.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Iterator, List, Optional
+
+from repro.core.classification import ChordalityReport, classify_bipartite_graph
+from repro.exceptions import NotApplicableError, ValidationError
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.graph import Graph, Vertex
+from repro.graphs.spanning import spanning_tree
+from repro.graphs.traversal import component_containing, vertices_in_same_component
+from repro.steiner.algorithm1 import pseudo_steiner_algorithm1
+from repro.steiner.algorithm2 import steiner_algorithm2
+from repro.steiner.exact import steiner_tree_bruteforce, steiner_tree_dreyfus_wagner
+from repro.steiner.heuristics import kou_markowsky_berman
+from repro.steiner.problem import (
+    SteinerInstance,
+    SteinerSolution,
+    prune_non_terminal_leaves,
+)
+from repro.steiner.pseudo import pseudo_steiner_bruteforce
+
+
+class MinimalConnectionFinder:
+    """Find minimal conceptual connections over a bipartite schema graph.
+
+    Parameters
+    ----------
+    graph:
+        The schema graph (a :class:`BipartiteGraph`).
+    exact_terminal_limit:
+        Terminal-set sizes up to this limit fall back to the Dreyfus-Wagner
+        exact solver when no polynomial class applies (default 8).
+    exact_vertex_limit:
+        Graphs with at most this many optional vertices may use the
+        brute-force solver as a last exact resort (default 18).
+
+    Examples
+    --------
+    >>> from repro.graphs import BipartiteGraph
+    >>> g = BipartiteGraph(left=["A", "B"], right=[1], edges=[("A", 1), ("B", 1)])
+    >>> finder = MinimalConnectionFinder(g)
+    >>> finder.minimal_connection(["A", "B"]).vertex_count()
+    3
+    """
+
+    def __init__(
+        self,
+        graph: BipartiteGraph,
+        exact_terminal_limit: int = 8,
+        exact_vertex_limit: int = 18,
+    ) -> None:
+        if not isinstance(graph, BipartiteGraph):
+            raise ValidationError("MinimalConnectionFinder requires a BipartiteGraph")
+        self._graph = graph
+        self._exact_terminal_limit = exact_terminal_limit
+        self._exact_vertex_limit = exact_vertex_limit
+        self._report: Optional[ChordalityReport] = None
+
+    # ------------------------------------------------------------------
+    # classification
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> BipartiteGraph:
+        """The schema graph this finder operates on."""
+        return self._graph
+
+    @property
+    def report(self) -> ChordalityReport:
+        """The (lazily computed, cached) chordality classification."""
+        if self._report is None:
+            self._report = classify_bipartite_graph(self._graph)
+        return self._report
+
+    # ------------------------------------------------------------------
+    # Steiner (minimise total number of objects)
+    # ------------------------------------------------------------------
+    def minimal_connection(self, terminals: Iterable[Vertex]) -> SteinerSolution:
+        """Return a connection (tree) over ``terminals`` minimising total objects.
+
+        The solver is chosen from the graph's chordality class; the returned
+        solution's ``optimal`` flag tells the caller whether the answer is
+        guaranteed minimal.
+        """
+        terminal_list = sorted(set(terminals), key=repr)
+        if self.report.steiner_tractable():
+            return steiner_algorithm2(self._graph, terminal_list, check=False)
+        if len(terminal_list) <= self._exact_terminal_limit:
+            return steiner_tree_dreyfus_wagner(self._graph, terminal_list)
+        optional = self._graph.number_of_vertices() - len(terminal_list)
+        if optional <= self._exact_vertex_limit:
+            return steiner_tree_bruteforce(self._graph, terminal_list)
+        return kou_markowsky_berman(self._graph, terminal_list)
+
+    # ------------------------------------------------------------------
+    # pseudo-Steiner (minimise objects of one side, e.g. relations)
+    # ------------------------------------------------------------------
+    def minimal_side_connection(
+        self, terminals: Iterable[Vertex], side: int = 2
+    ) -> SteinerSolution:
+        """Return a connection minimising the number of ``V_side`` objects.
+
+        In the database reading with relations on ``V_2``, this is "answer
+        the query with as few relations as possible", which Algorithm 1
+        solves in polynomial time on alpha-acyclic schemas.
+        """
+        terminal_list = sorted(set(terminals), key=repr)
+        if self.report.pseudo_steiner_tractable(side):
+            try:
+                return pseudo_steiner_algorithm1(
+                    self._graph, terminal_list, side=side, check=True
+                )
+            except NotApplicableError:
+                # the global class test passed but the terminals' component is
+                # degenerate; fall through to the exact solver below.
+                pass
+        optional_side = len(self._graph.side(side) - set(terminal_list))
+        if optional_side <= self._exact_vertex_limit:
+            return pseudo_steiner_bruteforce(self._graph, terminal_list, side)
+        solution = kou_markowsky_berman(self._graph, terminal_list)
+        solution.side = side
+        return solution
+
+    # ------------------------------------------------------------------
+    # ranked enumeration (interactive disambiguation)
+    # ------------------------------------------------------------------
+    def ranked_connections(
+        self, terminals: Iterable[Vertex], limit: int = 5, max_extra: Optional[int] = None
+    ) -> List[SteinerSolution]:
+        """Enumerate distinct connections in order of increasing total size.
+
+        This is the "progressively disclose as few concepts as possible"
+        interaction of the introduction: the first entry is a minimal
+        connection, later entries are alternative interpretations using
+        more auxiliary objects.  Enumeration is exhaustive over auxiliary
+        subsets and therefore meant for schema-sized graphs (tens of
+        vertices), not arbitrary inputs.
+        """
+        terminal_set = frozenset(terminals)
+        instance = SteinerInstance(self._graph, terminal_set)
+        instance.require_feasible()
+        optional = sorted(self._graph.vertices() - terminal_set, key=repr)
+        bound = len(optional) if max_extra is None else min(max_extra, len(optional))
+        found: List[SteinerSolution] = []
+        seen_vertex_sets = set()
+        for extra in range(bound + 1):
+            for subset in combinations(optional, extra):
+                kept = terminal_set | set(subset)
+                induced = self._graph.subgraph(kept)
+                if not vertices_in_same_component(induced, terminal_set):
+                    continue
+                component = component_containing(induced, next(iter(terminal_set)))
+                # only report connections that use exactly the chosen objects
+                # (otherwise the same connection reappears for every superset
+                # of its auxiliary vertices)
+                if frozenset(component) != frozenset(kept):
+                    continue
+                tree = spanning_tree(induced.subgraph(component))
+                key = frozenset(tree.vertices())
+                if key in seen_vertex_sets:
+                    continue
+                seen_vertex_sets.add(key)
+                found.append(
+                    SteinerSolution(
+                        tree=tree,
+                        instance=instance,
+                        method="ranked-enumeration",
+                        optimal=not found,
+                    )
+                )
+                if len(found) >= limit:
+                    return found
+        return found

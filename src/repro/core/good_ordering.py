@@ -1,0 +1,293 @@
+"""Good orderings (Definition 11, Corollary 5, Theorem 6).
+
+An ordering of the vertices of a bipartite graph is *good* when, for every
+terminal set ``P``, greedily eliminating redundant vertices in that order
+produces a **minimum** cover of ``P``.  The paper proves:
+
+* Corollary 5: on (6,2)-chordal bipartite graphs *every* ordering is good
+  (because every nonredundant cover is minimum, Lemma 5);
+* Theorem 6: there is a (6,1)-chordal bipartite graph on which *no*
+  ordering is good -- so any polynomial Steiner algorithm for that class,
+  if one exists, cannot be based on an elimination ordering.
+
+Checking a single ordering against all terminal sets is exponential in
+``|V|``; the functions below therefore accept explicit terminal-set
+collections, caps on the terminal-set size, or the *case decomposition*
+used in the paper's proof of Theorem 6 (every ordering is killed by one of
+four witness terminal sets, depending on which "hub" vertex appears first),
+which allows an exact, exhaustive verification of the counterexample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations, permutations
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.covers import greedy_elimination_cover, minimum_cover_size
+from repro.exceptions import ValidationError
+from repro.graphs.graph import Graph, Vertex
+from repro.graphs.traversal import vertices_in_same_component
+from repro.utils.rng import RandomLike, ensure_rng
+
+
+# ----------------------------------------------------------------------
+# fast internal greedy elimination (plain dict-of-sets, no Graph objects)
+# ----------------------------------------------------------------------
+def _adjacency_map(graph: Graph) -> Dict[Vertex, Set[Vertex]]:
+    return {v: graph.neighbors(v) for v in graph.vertices()}
+
+
+def _terminals_connected(
+    adjacency: Dict[Vertex, Set[Vertex]], kept: Set[Vertex], terminals: Set[Vertex]
+) -> bool:
+    """Do ``terminals`` lie in one component of the subgraph induced by ``kept``?"""
+    if not terminals <= kept:
+        return False
+    start = next(iter(terminals))
+    seen = {start}
+    stack = [start]
+    while stack:
+        current = stack.pop()
+        for neighbor in adjacency[current]:
+            if neighbor in kept and neighbor not in seen:
+                seen.add(neighbor)
+                stack.append(neighbor)
+    return terminals <= seen
+
+
+def _terminal_component(
+    adjacency: Dict[Vertex, Set[Vertex]], kept: Set[Vertex], terminals: Set[Vertex]
+) -> Set[Vertex]:
+    """Return the terminals' component of the subgraph induced by ``kept``."""
+    start = next(iter(terminals))
+    seen = {start}
+    stack = [start]
+    while stack:
+        current = stack.pop()
+        for neighbor in adjacency[current]:
+            if neighbor in kept and neighbor not in seen:
+                seen.add(neighbor)
+                stack.append(neighbor)
+    return seen
+
+
+def fast_greedy_cover(
+    graph: Graph, terminals: Iterable[Vertex], ordering: Sequence[Vertex]
+) -> Set[Vertex]:
+    """Greedy elimination along ``ordering`` (single-vertex removals).
+
+    Equivalent to :func:`repro.core.covers.greedy_elimination_cover` with
+    ``removal_batches=False`` but implemented on plain adjacency maps so the
+    exhaustive Theorem 6 verification stays affordable.  A vertex is
+    redundant when the terminals stay connected without it; the returned
+    set is the terminals' component of the final graph.
+    """
+    terminal_set = set(terminals)
+    adjacency = _adjacency_map(graph)
+    # restrict to the component containing the terminals
+    start = next(iter(terminal_set))
+    component = {start}
+    stack = [start]
+    while stack:
+        current = stack.pop()
+        for neighbor in adjacency[current]:
+            if neighbor not in component:
+                component.add(neighbor)
+                stack.append(neighbor)
+    if not terminal_set <= component:
+        raise ValidationError("terminals are not in a single component")
+    kept = set(component)
+    for vertex in ordering:
+        if vertex not in kept or vertex in terminal_set:
+            continue
+        candidate = kept - {vertex}
+        if candidate and _terminals_connected(adjacency, candidate, terminal_set):
+            kept = candidate
+    return _terminal_component(adjacency, kept, terminal_set)
+
+
+# ----------------------------------------------------------------------
+# goodness of an ordering
+# ----------------------------------------------------------------------
+def candidate_terminal_sets(
+    graph: Graph, max_size: Optional[int] = None, min_size: int = 2
+) -> List[FrozenSet[Vertex]]:
+    """Enumerate the feasible terminal sets (all in one component).
+
+    The number of subsets grows exponentially; ``max_size`` caps the subset
+    size.  Singletons are excluded by default because they are trivially
+    handled by every ordering.
+    """
+    vertices = graph.sorted_vertices()
+    top = len(vertices) if max_size is None else min(max_size, len(vertices))
+    result = []
+    for size in range(min_size, top + 1):
+        for subset in combinations(vertices, size):
+            if vertices_in_same_component(graph, subset):
+                result.append(frozenset(subset))
+    return result
+
+
+def find_bad_terminal_set(
+    graph: Graph,
+    ordering: Sequence[Vertex],
+    terminal_sets: Optional[Iterable[Iterable[Vertex]]] = None,
+    max_size: Optional[int] = None,
+) -> Optional[FrozenSet[Vertex]]:
+    """Return a terminal set on which the ordering is not good, or ``None``.
+
+    ``terminal_sets`` defaults to every feasible subset (with optional size
+    cap) -- exponential, so pass an explicit collection on larger graphs.
+    """
+    if terminal_sets is None:
+        terminal_sets = candidate_terminal_sets(graph, max_size=max_size)
+    minimum_cache: Dict[FrozenSet[Vertex], int] = {}
+    for terminals in terminal_sets:
+        terminal_set = frozenset(terminals)
+        cover = fast_greedy_cover(graph, terminal_set, ordering)
+        if terminal_set not in minimum_cache:
+            minimum_cache[terminal_set] = minimum_cover_size(graph, terminal_set)
+        if len(cover) > minimum_cache[terminal_set]:
+            return terminal_set
+    return None
+
+
+def is_good_ordering(
+    graph: Graph,
+    ordering: Sequence[Vertex],
+    terminal_sets: Optional[Iterable[Iterable[Vertex]]] = None,
+    max_size: Optional[int] = None,
+) -> bool:
+    """Check Definition 11 for one ordering (w.r.t. the given terminal sets)."""
+    return (
+        find_bad_terminal_set(
+            graph, ordering, terminal_sets=terminal_sets, max_size=max_size
+        )
+        is None
+    )
+
+
+# ----------------------------------------------------------------------
+# Theorem 6: case-based exhaustive verification
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class OrderingCase:
+    """One case of the Theorem 6 argument.
+
+    ``pivot`` is the hub vertex assumed to appear first among ``hubs`` in
+    the ordering, and ``witness`` is the terminal set on which every such
+    ordering fails to be good.
+    """
+
+    pivot: Vertex
+    hubs: FrozenSet[Vertex]
+    witness: FrozenSet[Vertex]
+
+
+def verify_case_exhaustively(graph: Graph, case: OrderingCase) -> bool:
+    """Exhaustively verify one Theorem 6 case.
+
+    Every relative order of the non-terminal vertices in which ``pivot``
+    precedes the other hubs is checked; the case holds when greedy
+    elimination yields a non-minimum cover for the witness terminal set in
+    *all* of them.  (Terminal vertices are never eliminated, so their
+    positions in the full ordering are irrelevant.)
+    """
+    witness = set(case.witness)
+    hubs = set(case.hubs)
+    if case.pivot not in hubs:
+        raise ValidationError("the pivot must be one of the hub vertices")
+    if not hubs <= graph.vertices() or not witness <= graph.vertices():
+        raise ValidationError("hub and witness vertices must belong to the graph")
+    if hubs & witness:
+        raise ValidationError("hub vertices must not be terminals of the witness set")
+    optimum = minimum_cover_size(graph, witness)
+    movable = sorted(graph.vertices() - witness, key=repr)
+    others = hubs - {case.pivot}
+    for order in permutations(movable):
+        pivot_position = order.index(case.pivot)
+        if any(order.index(h) < pivot_position for h in others):
+            continue
+        cover = fast_greedy_cover(graph, witness, order)
+        if len(cover) <= optimum:
+            return False
+    return True
+
+
+def verify_no_good_ordering(graph: Graph, cases: Sequence[OrderingCase]) -> bool:
+    """Verify Theorem 6 for ``graph`` through a complete case decomposition.
+
+    The cases must share the same hub set and provide one case per hub
+    (every ordering of the vertices puts *some* hub first, so the cases are
+    exhaustive); each case is then verified exhaustively.  Returns ``True``
+    when the decomposition proves that no ordering of the graph is good.
+    """
+    if not cases:
+        return False
+    hub_sets = {case.hubs for case in cases}
+    if len(hub_sets) != 1:
+        raise ValidationError("all cases must share the same hub set")
+    hubs = set(next(iter(hub_sets)))
+    pivots = {case.pivot for case in cases}
+    if pivots != hubs:
+        raise ValidationError("there must be exactly one case per hub vertex")
+    return all(verify_case_exhaustively(graph, case) for case in cases)
+
+
+def sample_orderings_not_good(
+    graph: Graph,
+    cases: Sequence[OrderingCase],
+    samples: int = 200,
+    rng: RandomLike = None,
+) -> bool:
+    """Randomised spot-check of Theorem 6 (used by the fast unit tests).
+
+    ``samples`` random orderings are drawn; for each, the case whose pivot
+    comes first among the hubs supplies the witness terminal set, and the
+    ordering must fail on it.  Returns ``True`` when every sampled ordering
+    fails (as Theorem 6 predicts).
+    """
+    generator = ensure_rng(rng)
+    by_pivot = {case.pivot: case for case in cases}
+    hubs = set(next(iter(cases)).hubs)
+    vertices = graph.sorted_vertices()
+    minimum_cache: Dict[FrozenSet[Vertex], int] = {}
+    for _ in range(samples):
+        order = list(vertices)
+        generator.shuffle(order)
+        first_hub = next(v for v in order if v in hubs)
+        case = by_pivot[first_hub]
+        witness = frozenset(case.witness)
+        if witness not in minimum_cache:
+            minimum_cache[witness] = minimum_cover_size(graph, witness)
+        cover = fast_greedy_cover(graph, witness, order)
+        if len(cover) <= minimum_cache[witness]:
+            return False
+    return True
+
+
+def every_ordering_good_sampled(
+    graph: Graph,
+    orderings: int = 20,
+    terminal_sets: Optional[Iterable[Iterable[Vertex]]] = None,
+    max_terminal_size: int = 4,
+    rng: RandomLike = None,
+) -> bool:
+    """Randomised check of Corollary 5 on one graph.
+
+    ``orderings`` random orderings are each tested against the provided (or
+    enumerated, size-capped) terminal sets; returns ``True`` when every
+    sampled ordering is good.
+    """
+    generator = ensure_rng(rng)
+    if terminal_sets is None:
+        terminal_sets = candidate_terminal_sets(graph, max_size=max_terminal_size)
+    terminal_sets = [frozenset(t) for t in terminal_sets]
+    vertices = graph.sorted_vertices()
+    for _ in range(orderings):
+        order = list(vertices)
+        generator.shuffle(order)
+        if not is_good_ordering(graph, order, terminal_sets=terminal_sets):
+            return False
+    return True

@@ -1,0 +1,337 @@
+"""Named instances reconstructing the paper's figures.
+
+The source text of the paper does not contain machine-readable figures, so
+exact pixel-level reconstruction is impossible; instead every function in
+this module returns an instance that provably has the properties the paper
+ascribes to the corresponding figure (and, where the surrounding text pins
+the structure down -- Fig. 6 and the Section-3 witness set of Fig. 3(c) --
+the reconstruction matches the text exactly).  The test module
+``tests/test_figures.py`` asserts every such property.
+
+Overview
+--------
+* Fig. 1  -- entity-relationship scheme (EMPLOYEE / DEPARTMENT / WORKS) and
+  its relational translation; the EMPLOYEE-DATE query has the "birth date"
+  reading as its minimal connection.
+* Fig. 2  -- a bipartite graph whose associated hypergraph is alpha-acyclic
+  on one side only (alpha-acyclicity is not self-dual).
+* Fig. 3  -- three chordal bipartite graphs: (a) (4,1)-chordal,
+  (b) (6,2)-chordal, (c) (6,1)- but not (6,2)-chordal; (c) carries the
+  Section-3 witness showing Algorithm 1 does not solve full Steiner.
+* Fig. 4  -- the hypergraphs associated with Fig. 3 (Berge-, gamma-,
+  beta-acyclic respectively).
+* Fig. 5  -- a graph that is ``V_1``- and ``V_2``-alpha but not
+  (6,1)-chordal (Corollary 2's containment is proper).
+* Fig. 6  -- the X3C reduction instance of Theorem 2.
+* Fig. 8  -- nonredundant vs. minimum covers.
+* Fig. 10 -- the 6-cycle with one chord used in Lemma 4's proof.
+* Fig. 11 -- a (6,1)-chordal graph with no good ordering (Theorem 6),
+  together with the four-case decomposition used to verify it exhaustively.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.core.good_ordering import OrderingCase
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.graph import Graph
+from repro.hypergraphs.conversions import hypergraph_of_side
+from repro.hypergraphs.hypergraph import Hypergraph
+from repro.semantic.er_model import ERSchema
+from repro.semantic.relational import RelationalSchema
+from repro.steiner.reductions import SteinerReduction, X3CInstance, x3c_to_steiner
+
+
+# ----------------------------------------------------------------------
+# Figure 1: the entity-relationship scheme of the introduction
+# ----------------------------------------------------------------------
+def figure1_er_schema() -> ERSchema:
+    """The EMPLOYEE / DEPARTMENT / WORKS entity-relationship scheme.
+
+    The query {EMPLOYEE, DATE} has two readings: the employee's birth date
+    (no auxiliary object) and the date from which the employee works in a
+    department (through the WORKS relationship).
+    """
+    return ERSchema(
+        entities={
+            "EMPLOYEE": ["E#", "ENAME", "DATE"],
+            "DEPARTMENT": ["D#", "DNAME"],
+        },
+        relationships={"WORKS": ["EMPLOYEE", "DEPARTMENT"]},
+        relationship_attributes={"WORKS": ["DATE"]},
+    )
+
+
+def figure1_relational_schema() -> RelationalSchema:
+    """The relational translation used by the query-interpretation example."""
+    return RelationalSchema(
+        {
+            "EMPLOYEE": ["E#", "ENAME", "DATE"],
+            "DEPARTMENT": ["D#", "DNAME"],
+            "WORKS": ["E#", "D#", "DATE"],
+        }
+    )
+
+
+def figure1_query() -> List[str]:
+    """The query of the introduction: the pair of objects EMPLOYEE and DATE."""
+    return ["EMPLOYEE", "DATE"]
+
+
+# ----------------------------------------------------------------------
+# Figure 2: alpha-acyclicity is not self-dual
+# ----------------------------------------------------------------------
+def figure2_graph() -> BipartiteGraph:
+    """A bipartite graph that is ``V_2``-alpha but not ``V_1``-alpha.
+
+    ``H_2(G)`` has edges {a,b}, {b,c}, {a,c} and {a,b,c}: alpha-acyclic
+    (its primal graph is a triangle and the big edge covers the clique),
+    while its dual ``H_1(G)`` is not conformal, hence not alpha-acyclic --
+    the phenomenon Fig. 2 illustrates.
+    """
+    graph = BipartiteGraph(left=["a", "b", "c"], right=["e1", "e2", "e3", "e4"])
+    for label, members in (
+        ("e1", ["a", "b"]),
+        ("e2", ["b", "c"]),
+        ("e3", ["a", "c"]),
+        ("e4", ["a", "b", "c"]),
+    ):
+        for node in members:
+            graph.add_edge(node, label)
+    return graph
+
+
+def figure2_hypergraphs() -> Tuple[Hypergraph, Hypergraph]:
+    """Return ``(H_1, H_2)`` of the Fig. 2 graph."""
+    graph = figure2_graph()
+    return hypergraph_of_side(graph, 1), hypergraph_of_side(graph, 2)
+
+
+# ----------------------------------------------------------------------
+# Figure 3: the three chordal bipartite graphs
+# ----------------------------------------------------------------------
+def _figure3_base() -> BipartiteGraph:
+    """The shared skeleton: 6-cycle B-1-C-3-E-2-B with pendants A, F, D."""
+    graph = BipartiteGraph(
+        left=["A", "B", "C", "D", "E", "F"], right=[1, 2, 3]
+    )
+    for u, v in (
+        ("B", 1),
+        ("C", 1),
+        ("C", 3),
+        ("E", 3),
+        ("E", 2),
+        ("B", 2),
+        ("A", 1),
+        ("F", 3),
+        ("D", 2),
+    ):
+        graph.add_edge(u, v)
+    return graph
+
+
+def figure3a_graph() -> BipartiteGraph:
+    """A (4,1)-chordal (i.e. acyclic) bipartite graph -- Fig. 3(a)."""
+    graph = _figure3_base()
+    graph.remove_edge("B", 2)
+    return graph
+
+
+def figure3b_graph() -> BipartiteGraph:
+    """A (6,2)-chordal bipartite graph -- Fig. 3(b)."""
+    graph = _figure3_base()
+    graph.add_edge("C", 2)
+    graph.add_edge("B", 3)
+    return graph
+
+
+def figure3c_graph() -> BipartiteGraph:
+    """A (6,1)- but not (6,2)-chordal bipartite graph -- Fig. 3(c).
+
+    The 6-cycle B-1-C-3-E-2-B has the single chord C-2.  With terminals
+    ``{A, B, E}`` the vertex set ``{A, B, C, E, 1, 3}`` induces a tree with
+    the minimum number of ``V_2`` vertices that is *not* a Steiner tree
+    (the Section-3 remark after Corollary 4).
+    """
+    graph = _figure3_base()
+    graph.add_edge("C", 2)
+    return graph
+
+
+def figure3c_witness() -> Tuple[BipartiteGraph, FrozenSet, FrozenSet]:
+    """Return ``(graph, terminals, pseudo_optimal_cover)`` for the Section-3 remark."""
+    return figure3c_graph(), frozenset({"A", "B", "E"}), frozenset({"A", "B", "C", "E", 1, 3})
+
+
+# ----------------------------------------------------------------------
+# Figure 4: the associated hypergraphs
+# ----------------------------------------------------------------------
+def figure4a_hypergraph() -> Hypergraph:
+    """Berge-acyclic hypergraph associated with Fig. 3(a)."""
+    return hypergraph_of_side(figure3a_graph(), 2)
+
+
+def figure4b_hypergraph() -> Hypergraph:
+    """gamma-acyclic hypergraph associated with Fig. 3(b)."""
+    return hypergraph_of_side(figure3b_graph(), 2)
+
+
+def figure4c_hypergraph() -> Hypergraph:
+    """beta-acyclic hypergraph associated with Fig. 3(c)."""
+    return hypergraph_of_side(figure3c_graph(), 2)
+
+
+# ----------------------------------------------------------------------
+# Figure 5: proper containment (Corollary 2)
+# ----------------------------------------------------------------------
+def figure5_graph() -> BipartiteGraph:
+    """A graph that is ``V_1``- and ``V_2``-alpha but not (6,1)-chordal.
+
+    ``H_2(G)`` has edges {a,b,z}, {b,c,z}, {a,c,z}, {a,b,c,z}: both it and
+    its dual are alpha-acyclic (the universal node / universal edge cover
+    every clique), yet the triple of pairwise-overlapping small edges forms
+    a beta cycle, so the graph is not (6,1)-chordal.
+    """
+    graph = BipartiteGraph(left=["a", "b", "c", "z"], right=["e1", "e2", "e3", "e4"])
+    for label, members in (
+        ("e1", ["a", "b", "z"]),
+        ("e2", ["b", "c", "z"]),
+        ("e3", ["a", "c", "z"]),
+        ("e4", ["a", "b", "c", "z"]),
+    ):
+        for node in members:
+            graph.add_edge(node, label)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Figure 6: the X3C reduction example
+# ----------------------------------------------------------------------
+def figure6_x3c_instance() -> X3CInstance:
+    """The X3C instance of Fig. 6: X = {x1..x6}, C = {c1, c2, c3}."""
+    return X3CInstance(
+        elements=["x1", "x2", "x3", "x4", "x5", "x6"],
+        triples=[
+            {"x1", "x2", "x3"},
+            {"x3", "x4", "x5"},
+            {"x4", "x5", "x6"},
+        ],
+    )
+
+
+def figure6_reduction() -> SteinerReduction:
+    """The bipartite Steiner instance obtained from the Fig. 6 X3C instance."""
+    return x3c_to_steiner(figure6_x3c_instance())
+
+
+# ----------------------------------------------------------------------
+# Figure 8: nonredundant vs. minimum covers
+# ----------------------------------------------------------------------
+def figure8_example() -> Tuple[BipartiteGraph, FrozenSet, Dict[str, FrozenSet]]:
+    """A graph, a terminal set and named covers illustrating Definition 10.
+
+    Returns ``(graph, terminals, covers)`` where ``covers`` maps
+    ``"nonredundant"`` to a nonredundant cover that is not minimum and
+    ``"minimum"`` to a minimum cover.
+    """
+    graph = BipartiteGraph(left=["A", "B", "C", "D", "E"], right=[1, 2, 3, 4])
+    for u, v in (
+        ("A", 1),
+        ("B", 1),
+        ("B", 2),
+        ("C", 2),
+        ("A", 3),
+        ("C", 3),
+        ("C", 4),
+        ("D", 4),
+        ("E", 2),
+    ):
+        graph.add_edge(u, v)
+    terminals = frozenset({"A", "C", "D"})
+    covers = {
+        "minimum": frozenset({"A", 3, "C", 4, "D"}),
+        "nonredundant": frozenset({"A", 1, "B", 2, "C", 4, "D"}),
+    }
+    return graph, terminals, covers
+
+
+# ----------------------------------------------------------------------
+# Figure 10: the 6-cycle with one chord (Lemma 4)
+# ----------------------------------------------------------------------
+def figure10_graph() -> BipartiteGraph:
+    """A 6-cycle with exactly one chord.
+
+    The pair of vertices opposite the chord is connected by a nonredundant
+    path of length 2 and by a longer nonredundant path, which is exactly
+    how Lemma 4 characterises the failure of (6,2)-chordality.
+    """
+    graph = BipartiteGraph(left=["u", "v", "w"], right=[1, 2, 3])
+    for a, b in (("u", 1), ("v", 1), ("v", 2), ("w", 2), ("w", 3), ("u", 3), ("v", 3)):
+        graph.add_edge(a, b)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Figure 11: a (6,1)-chordal graph with no good ordering (Theorem 6)
+# ----------------------------------------------------------------------
+def figure11_graph() -> BipartiteGraph:
+    """The Theorem 6 counterexample graph.
+
+    Twelve vertices: hubs ``A, B`` and ``1, 2`` forming a 4-cycle, four
+    "spoke" vertices ``3, 4, 5, 6`` (3, 4 attached to A; 5, 6 attached to
+    B), and four pendant-style vertices ``C, D, E, F`` each adjacent to its
+    spoke and to the hub (1 or 2) on the other side.  The graph is
+    (6,1)-chordal but not (6,2)-chordal, and no ordering of its vertices is
+    good (verified exhaustively through the four cases below).
+    """
+    graph = BipartiteGraph(
+        left=["A", "B", "C", "D", "E", "F"], right=[1, 2, 3, 4, 5, 6]
+    )
+    edges = [
+        ("A", 1), ("A", 2), ("A", 3), ("A", 4),
+        ("B", 1), ("B", 2), ("B", 5), ("B", 6),
+        ("C", 1), ("C", 3),
+        ("D", 2), ("D", 4),
+        ("E", 1), ("E", 5),
+        ("F", 2), ("F", 6),
+    ]
+    for u, v in edges:
+        graph.add_edge(u, v)
+    return graph
+
+
+def figure11_cases() -> List[OrderingCase]:
+    """The four-case decomposition of the Theorem 6 proof.
+
+    Every ordering of the vertices places one of the hubs ``A, B, 1, 2``
+    first among the four; the corresponding witness terminal set then
+    defeats the ordering.
+    """
+    hubs = frozenset({"A", "B", 1, 2})
+    return [
+        OrderingCase(pivot="A", hubs=hubs, witness=frozenset({3, "C", 4, "D"})),
+        OrderingCase(pivot="B", hubs=hubs, witness=frozenset({5, "E", 6, "F"})),
+        OrderingCase(pivot=1, hubs=hubs, witness=frozenset({3, "C", 5, "E"})),
+        OrderingCase(pivot=2, hubs=hubs, witness=frozenset({4, "D", 6, "F"})),
+    ]
+
+
+def all_figures() -> Dict[str, object]:
+    """Return every figure instance keyed by a short name (for reports)."""
+    return {
+        "fig1_er": figure1_er_schema(),
+        "fig1_relational": figure1_relational_schema(),
+        "fig2": figure2_graph(),
+        "fig3a": figure3a_graph(),
+        "fig3b": figure3b_graph(),
+        "fig3c": figure3c_graph(),
+        "fig4a": figure4a_hypergraph(),
+        "fig4b": figure4b_hypergraph(),
+        "fig4c": figure4c_hypergraph(),
+        "fig5": figure5_graph(),
+        "fig6": figure6_reduction(),
+        "fig8": figure8_example(),
+        "fig10": figure10_graph(),
+        "fig11": figure11_graph(),
+    }

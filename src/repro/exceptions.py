@@ -1,0 +1,58 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch any library failure with a single ``except`` clause while still being
+able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Raised for structurally invalid graph operations.
+
+    Examples include adding an edge whose endpoints are missing, querying a
+    vertex that is not part of the graph, or requesting an operation that is
+    undefined for the given graph (e.g. a spanning tree of a disconnected
+    vertex set).
+    """
+
+
+class BipartitenessError(GraphError):
+    """Raised when a bipartite structure is required but violated.
+
+    This covers both adding an edge between two vertices of the same side of
+    a :class:`~repro.graphs.bipartite.BipartiteGraph` and handing a
+    non-bipartite graph to an algorithm that only accepts bipartite input.
+    """
+
+
+class HypergraphError(ReproError):
+    """Raised for structurally invalid hypergraph operations."""
+
+
+class NotApplicableError(ReproError):
+    """Raised when an algorithm's structural precondition does not hold.
+
+    The polynomial algorithms in the paper (Algorithm 1 and Algorithm 2) are
+    only correct on graphs with specific chordality properties.  When a
+    caller requests strict checking and the input falls outside the class,
+    this error is raised instead of silently returning a possibly suboptimal
+    answer.
+    """
+
+
+class DisconnectedTerminalsError(ReproError):
+    """Raised when the requested terminals do not lie in one component.
+
+    A Steiner tree over a terminal set only exists when all terminals belong
+    to the same connected component of the host graph.
+    """
+
+
+class ValidationError(ReproError):
+    """Raised when a caller-supplied argument fails validation."""

@@ -1,0 +1,222 @@
+"""Cycles and chords.
+
+Definition 4 of the paper: a *cycle* is a path of length 3 or more whose
+endpoints are adjacent (its length is the number of vertices), and a
+*chord* is an edge connecting two non-consecutive vertices of the cycle.
+The ``(m, n)``-chordality notions are phrased entirely in terms of cycles
+and their chords, so this module provides:
+
+* enumeration of the simple cycles of a graph (each reported once),
+* chord computation for a given cycle,
+* convenience predicates ("does a cycle of length >= m with fewer than n
+  chords exist?") used by the definitional chordality checkers,
+* `has_cycle` / `is_forest` for the (4,1)-chordal == acyclic case.
+
+Cycle enumeration is exponential in general; it is only used on the small
+and medium instances where the definitional checks serve as ground truth
+against which the efficient algorithms are validated.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph, Vertex
+
+
+def is_cycle(graph: Graph, vertices: Sequence[Vertex]) -> bool:
+    """Return ``True`` when ``vertices`` is a cycle in the sense of Definition 4.
+
+    The sequence must be a path of distinct vertices of length at least 3
+    (i.e. at least 4 vertices... no: the paper counts the cycle length as
+    the number of vertices ``n`` and requires a path of length 3 or more,
+    meaning at least 4 vertices for paths -- but a cycle of length 3 is a
+    triangle).  Concretely: at least 3 distinct vertices, consecutive ones
+    adjacent, and the last adjacent to the first.
+    """
+    if len(vertices) < 3:
+        return False
+    if len(set(vertices)) != len(vertices):
+        return False
+    if any(v not in graph for v in vertices):
+        return False
+    closed = all(
+        graph.has_edge(vertices[i], vertices[(i + 1) % len(vertices)])
+        for i in range(len(vertices))
+    )
+    return closed
+
+
+def cycle_chords(graph: Graph, cycle: Sequence[Vertex]) -> List[Tuple[Vertex, Vertex]]:
+    """Return the chords of ``cycle``: edges between non-consecutive cycle vertices.
+
+    The cycle is given as a vertex sequence (without repeating the first
+    vertex at the end).  Each chord is reported once.
+    """
+    if not is_cycle(graph, cycle):
+        raise GraphError("the given vertex sequence is not a cycle of the graph")
+    n = len(cycle)
+    chords = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            if j == i + 1 or (i == 0 and j == n - 1):
+                continue
+            if graph.has_edge(cycle[i], cycle[j]):
+                chords.append((cycle[i], cycle[j]))
+    return chords
+
+
+def cycle_distance(cycle: Sequence[Vertex], u: Vertex, v: Vertex) -> int:
+    """Return the distance between two vertices measured along the cycle."""
+    n = len(cycle)
+    try:
+        i = cycle.index(u)
+        j = cycle.index(v)
+    except ValueError as exc:
+        raise GraphError("both vertices must lie on the cycle") from exc
+    around = abs(i - j)
+    return min(around, n - around)
+
+
+def simple_cycles(
+    graph: Graph,
+    min_length: int = 3,
+    max_length: Optional[int] = None,
+    limit: Optional[int] = None,
+) -> Iterator[List[Vertex]]:
+    """Yield each simple cycle of ``graph`` exactly once.
+
+    Cycles are produced as vertex sequences starting at their smallest
+    vertex (by ``repr``) and oriented so that the second vertex is the
+    smaller of that vertex's two cycle neighbours; this canonical form
+    guarantees each cycle appears once.
+
+    Parameters
+    ----------
+    min_length / max_length:
+        Bounds (inclusive) on the number of vertices of the produced cycles.
+    limit:
+        Stop after yielding this many cycles.
+    """
+    if min_length < 3:
+        min_length = 3
+    ordered = graph.sorted_vertices()
+    rank = {v: i for i, v in enumerate(ordered)}
+    count = 0
+
+    for start in ordered:
+        # enumerate cycles whose minimum-rank vertex is `start`
+        path = [start]
+        on_path = {start}
+
+        def _search() -> Iterator[List[Vertex]]:
+            current = path[-1]
+            for neighbor in sorted(graph.neighbors(current), key=lambda v: rank[v]):
+                if rank[neighbor] < rank[start]:
+                    continue
+                if neighbor == start:
+                    if len(path) >= min_length and _is_canonical(path, rank):
+                        yield list(path)
+                    continue
+                if neighbor in on_path:
+                    continue
+                if max_length is not None and len(path) >= max_length:
+                    continue
+                path.append(neighbor)
+                on_path.add(neighbor)
+                yield from _search()
+                on_path.discard(neighbor)
+                path.pop()
+
+        for cycle in _search():
+            yield cycle
+            count += 1
+            if limit is not None and count >= limit:
+                return
+
+
+def _is_canonical(path: Sequence[Vertex], rank: dict) -> bool:
+    """Keep only one orientation of each cycle (second vertex < last vertex)."""
+    return rank[path[1]] < rank[path[-1]]
+
+
+def chordless_cycles(
+    graph: Graph,
+    min_length: int = 4,
+    max_length: Optional[int] = None,
+    limit: Optional[int] = None,
+) -> Iterator[List[Vertex]]:
+    """Yield chordless (induced) cycles with at least ``min_length`` vertices."""
+    count = 0
+    for cycle in simple_cycles(graph, min_length=min_length, max_length=max_length):
+        if not cycle_chords(graph, cycle):
+            yield cycle
+            count += 1
+            if limit is not None and count >= limit:
+                return
+
+
+def find_cycle_with_few_chords(
+    graph: Graph,
+    min_length: int,
+    max_chords: int,
+    max_length: Optional[int] = None,
+) -> Optional[List[Vertex]]:
+    """Return a cycle of length >= ``min_length`` with at most ``max_chords`` chords.
+
+    Returns ``None`` when no such cycle exists.  This is the witness-finding
+    primitive behind the definitional ``(m, n)``-chordality test: a graph is
+    ``(m, n)``-chordal exactly when no cycle of length >= ``m`` has at most
+    ``n - 1`` chords.
+    """
+    for cycle in simple_cycles(graph, min_length=min_length, max_length=max_length):
+        if len(cycle_chords(graph, cycle)) <= max_chords:
+            return cycle
+    return None
+
+
+def has_cycle(graph: Graph) -> bool:
+    """Return ``True`` when the graph contains any cycle."""
+    visited: Set[Vertex] = set()
+    for start in graph.vertices():
+        if start in visited:
+            continue
+        stack: List[Tuple[Vertex, Optional[Vertex]]] = [(start, None)]
+        parents = {start: None}
+        visited.add(start)
+        while stack:
+            current, parent = stack.pop()
+            for neighbor in graph.neighbors(current):
+                if neighbor == parent:
+                    continue
+                if neighbor in visited and neighbor in parents:
+                    # a back edge inside the same DFS tree closes a cycle
+                    return True
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    parents[neighbor] = current
+                    stack.append((neighbor, current))
+    return False
+
+
+def is_forest(graph: Graph) -> bool:
+    """Return ``True`` when the graph is acyclic (a forest)."""
+    # A graph is a forest iff every component has exactly |V| - 1 edges;
+    # equivalently |E| = |V| - number_of_components.  This avoids the
+    # subtle parent bookkeeping of DFS-based cycle detection.
+    from repro.graphs.traversal import connected_components
+
+    components = connected_components(graph)
+    return graph.number_of_edges() == graph.number_of_vertices() - len(components)
+
+
+def girth(graph: Graph, max_length: Optional[int] = None) -> Optional[int]:
+    """Return the length of a shortest cycle, or ``None`` for a forest."""
+    best: Optional[int] = None
+    for cycle in simple_cycles(graph, min_length=3, max_length=max_length):
+        if best is None or len(cycle) < best:
+            best = len(cycle)
+            if best == 3:
+                return best
+    return best

@@ -1,0 +1,78 @@
+"""Matrix views of graphs.
+
+Adjacency and biadjacency matrices are convenient both for quick structural
+sanity checks in the tests and for the benchmark harnesses that report
+instance statistics (density, degree distribution).  They are not used by
+the core algorithms, which all work directly on the adjacency-set
+representation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.graph import Graph, Vertex
+
+
+def adjacency_matrix(graph: Graph, order: Sequence[Vertex] = None) -> Tuple[np.ndarray, List[Vertex]]:
+    """Return the 0/1 adjacency matrix and the vertex order used.
+
+    Parameters
+    ----------
+    order:
+        Optional explicit vertex ordering; defaults to the deterministic
+        ``sorted_vertices`` order.
+    """
+    vertices = list(order) if order is not None else graph.sorted_vertices()
+    index = {v: i for i, v in enumerate(vertices)}
+    matrix = np.zeros((len(vertices), len(vertices)), dtype=np.int8)
+    for u, v in graph.edges():
+        if u in index and v in index:
+            matrix[index[u], index[v]] = 1
+            matrix[index[v], index[u]] = 1
+    return matrix, vertices
+
+
+def biadjacency_matrix(
+    graph: BipartiteGraph,
+    row_order: Sequence[Vertex] = None,
+    column_order: Sequence[Vertex] = None,
+) -> Tuple[np.ndarray, List[Vertex], List[Vertex]]:
+    """Return the biadjacency matrix (rows = ``V1``, columns = ``V2``)."""
+    rows = list(row_order) if row_order is not None else sorted(graph.left(), key=repr)
+    columns = (
+        list(column_order)
+        if column_order is not None
+        else sorted(graph.right(), key=repr)
+    )
+    row_index = {v: i for i, v in enumerate(rows)}
+    column_index = {v: j for j, v in enumerate(columns)}
+    matrix = np.zeros((len(rows), len(columns)), dtype=np.int8)
+    for u, v in graph.edges():
+        if graph.side_of(u) == 2:
+            u, v = v, u
+        if u in row_index and v in column_index:
+            matrix[row_index[u], column_index[v]] = 1
+    return matrix, rows, columns
+
+
+def density(graph: Graph) -> float:
+    """Return ``|A| / C(|V|, 2)`` (0.0 for graphs with fewer than 2 vertices)."""
+    n = graph.number_of_vertices()
+    if n < 2:
+        return 0.0
+    return graph.number_of_edges() / (n * (n - 1) / 2)
+
+
+def degree_histogram(graph: Graph) -> List[int]:
+    """Return a list ``h`` where ``h[d]`` counts the vertices of degree ``d``."""
+    degrees = [graph.degree(v) for v in graph.vertices()]
+    if not degrees:
+        return []
+    histogram = [0] * (max(degrees) + 1)
+    for d in degrees:
+        histogram[d] += 1
+    return histogram

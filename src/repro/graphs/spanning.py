@@ -1,0 +1,95 @@
+"""Spanning trees.
+
+Both Algorithm 1 (Theorem 3, Step 3) and Algorithm 2 (Theorem 5, Step 2)
+end by extracting a spanning tree of the surviving cover: once the vertex
+set of the cover is minimum, *any* spanning tree of the induced subgraph is
+a (pseudo-)Steiner tree, because trees on a fixed vertex set all have the
+same number of vertices.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph, Vertex
+from repro.graphs.traversal import is_connected
+
+
+def spanning_tree(graph: Graph, root: Optional[Vertex] = None) -> Graph:
+    """Return a BFS spanning tree of a connected graph.
+
+    Parameters
+    ----------
+    root:
+        Optional root vertex; defaults to the smallest vertex by ``repr``.
+
+    Raises
+    ------
+    GraphError
+        If the graph is empty or not connected.
+    """
+    if graph.number_of_vertices() == 0:
+        raise GraphError("cannot build a spanning tree of the empty graph")
+    if not is_connected(graph):
+        raise GraphError("spanning_tree requires a connected graph")
+    if root is None:
+        root = graph.sorted_vertices()[0]
+    tree = Graph(vertices=[root])
+    visited = {root}
+    queue = deque([root])
+    while queue:
+        current = queue.popleft()
+        for neighbor in sorted(graph.neighbors(current), key=repr):
+            if neighbor not in visited:
+                visited.add(neighbor)
+                tree.add_edge(current, neighbor)
+                queue.append(neighbor)
+    return tree
+
+
+def spanning_forest(graph: Graph) -> Graph:
+    """Return a spanning forest (one BFS tree per connected component)."""
+    forest = Graph(vertices=graph.vertices())
+    visited: Set[Vertex] = set()
+    for start in graph.sorted_vertices():
+        if start in visited:
+            continue
+        queue = deque([start])
+        visited.add(start)
+        while queue:
+            current = queue.popleft()
+            for neighbor in sorted(graph.neighbors(current), key=repr):
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    forest.add_edge(current, neighbor)
+                    queue.append(neighbor)
+    return forest
+
+
+def is_tree(graph: Graph) -> bool:
+    """Return ``True`` when the graph is connected and acyclic."""
+    n = graph.number_of_vertices()
+    if n == 0:
+        return False
+    return is_connected(graph) and graph.number_of_edges() == n - 1
+
+
+def is_tree_over(graph: Graph, tree: Graph, terminals: Iterable[Vertex]) -> bool:
+    """Return ``True`` when ``tree`` is a subgraph of ``graph``, is a tree, and spans ``terminals``.
+
+    This is the validity condition of Definition 8: a candidate Steiner
+    tree ``T = (V', A')`` must be a subgraph of ``G`` that is a tree with
+    ``P`` included in ``V'``.
+    """
+    terminal_list = list(terminals)
+    if not is_tree(tree):
+        return False
+    for vertex in tree.vertices():
+        if vertex not in graph:
+            return False
+    for u, v in tree.edges():
+        if not graph.has_edge(u, v):
+            return False
+    return all(t in tree for t in terminal_list)

@@ -1,0 +1,88 @@
+"""Hypergraph substrate: hypergraphs, acyclicity degrees, join trees."""
+
+from repro.hypergraphs.acyclicity import (
+    DEGREES,
+    acyclicity_degree,
+    is_alpha_acyclic,
+    is_berge_acyclic,
+    is_beta_acyclic,
+    is_gamma_acyclic,
+    is_nest_point,
+    nest_point_elimination_order,
+    satisfies_degree,
+)
+from repro.hypergraphs.berge_cycles import (
+    find_berge_cycle,
+    find_beta_cycle,
+    find_gamma_cycle,
+    find_gamma_triple,
+    is_berge_cycle,
+    is_beta_cycle,
+    is_gamma_cycle,
+)
+from repro.hypergraphs.conformality import (
+    is_conformal,
+    is_conformal_cliques,
+    is_conformal_gilmore,
+)
+from repro.hypergraphs.conversions import (
+    hypergraph_from_relation_schemes,
+    hypergraph_of_side,
+    incidence_graph,
+    primal_graph,
+    schema_bipartite_graph,
+)
+from repro.hypergraphs.gyo import gyo_reduction, is_alpha_acyclic_gyo
+from repro.hypergraphs.hypergraph import Hypergraph
+from repro.hypergraphs.join_tree import (
+    build_join_tree,
+    is_join_tree,
+    join_tree_parent_map,
+)
+from repro.hypergraphs.tarjan_yannakakis import (
+    is_alpha_acyclic_mcs,
+    mcs_edge_ordering,
+    reverse_running_intersection_ordering,
+    running_intersection_ordering,
+    satisfies_running_intersection,
+    satisfies_suffix_running_intersection,
+)
+
+__all__ = [
+    "DEGREES",
+    "Hypergraph",
+    "acyclicity_degree",
+    "build_join_tree",
+    "find_berge_cycle",
+    "find_beta_cycle",
+    "find_gamma_cycle",
+    "find_gamma_triple",
+    "gyo_reduction",
+    "hypergraph_from_relation_schemes",
+    "hypergraph_of_side",
+    "incidence_graph",
+    "is_alpha_acyclic",
+    "is_alpha_acyclic_gyo",
+    "is_alpha_acyclic_mcs",
+    "is_berge_acyclic",
+    "is_berge_cycle",
+    "is_beta_acyclic",
+    "is_beta_cycle",
+    "is_conformal",
+    "is_conformal_cliques",
+    "is_conformal_gilmore",
+    "is_gamma_acyclic",
+    "is_gamma_cycle",
+    "is_join_tree",
+    "is_nest_point",
+    "join_tree_parent_map",
+    "mcs_edge_ordering",
+    "nest_point_elimination_order",
+    "primal_graph",
+    "reverse_running_intersection_ordering",
+    "running_intersection_ordering",
+    "satisfies_degree",
+    "satisfies_running_intersection",
+    "satisfies_suffix_running_intersection",
+    "schema_bipartite_graph",
+]

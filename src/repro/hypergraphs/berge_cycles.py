@@ -1,0 +1,213 @@
+"""Edge cycles in hypergraphs (Definition 6 of the paper).
+
+Three kinds of cycles are defined over a sequence of ``q >= 2`` distinct
+edges ``(e_1, ..., e_q)`` together with ``q`` distinct nodes
+``(n_1, ..., n_q)``:
+
+* **Berge cycle**: ``n_i in e_i ∩ e_{i+1}`` for ``1 <= i < q`` and
+  ``n_q in e_q ∩ e_1``.
+* **beta cycle**: a Berge cycle with ``q >= 3`` in which every ``n_i``
+  belongs *only* to the two consecutive edges it links (condition (b)/(c)
+  of Definition 6).
+* **gamma cycle**: a beta cycle, or a length-3 Berge cycle
+  ``(e_1, e_2, e_3)`` in which ``n_1 not in e_3`` and ``n_2 not in e_1``.
+
+``H`` is Berge/beta/gamma-*acyclic* when it has no cycle of the matching
+kind.  This module provides the *definitional* searches for these cycles,
+used as ground truth; the efficient acyclicity tests live in
+:mod:`repro.hypergraphs.acyclicity` and are cross-validated against these.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.hypergraphs.hypergraph import EdgeLabel, Hypergraph, Node
+
+CycleWitness = Tuple[List[EdgeLabel], List[Node]]
+
+
+def _edge_sets(hypergraph: Hypergraph, labels: Sequence[EdgeLabel]) -> List[FrozenSet[Node]]:
+    return [hypergraph.edge(label) for label in labels]
+
+
+def is_berge_cycle(hypergraph: Hypergraph, labels: Sequence[EdgeLabel], nodes: Sequence[Node]) -> bool:
+    """Check that ``(labels, nodes)`` forms a Berge cycle.
+
+    ``labels`` must list ``q >= 2`` distinct edges and ``nodes`` ``q``
+    distinct nodes; node ``n_i`` must lie in ``e_i ∩ e_{i+1}`` (cyclically).
+    """
+    q = len(labels)
+    if q < 2 or len(nodes) != q:
+        return False
+    if len(set(labels)) != q or len(set(nodes)) != q:
+        return False
+    edges = _edge_sets(hypergraph, labels)
+    return all(nodes[i] in edges[i] and nodes[i] in edges[(i + 1) % q] for i in range(q))
+
+
+def is_beta_cycle(hypergraph: Hypergraph, labels: Sequence[EdgeLabel], nodes: Sequence[Node]) -> bool:
+    """Check that ``(labels, nodes)`` forms a beta cycle (Definition 6)."""
+    q = len(labels)
+    if q < 3:
+        return False
+    if not is_berge_cycle(hypergraph, labels, nodes):
+        return False
+    edges = _edge_sets(hypergraph, labels)
+    for i in range(q):
+        allowed = {i, (i + 1) % q}
+        for j in range(q):
+            if j in allowed:
+                continue
+            if nodes[i] in edges[j]:
+                return False
+    return True
+
+
+def is_gamma_cycle(hypergraph: Hypergraph, labels: Sequence[EdgeLabel], nodes: Sequence[Node]) -> bool:
+    """Check that ``(labels, nodes)`` forms a gamma cycle (Definition 6)."""
+    if is_beta_cycle(hypergraph, labels, nodes):
+        return True
+    if len(labels) != 3 or len(nodes) != 3:
+        return False
+    if not is_berge_cycle(hypergraph, labels, nodes):
+        return False
+    e1, e2, e3 = _edge_sets(hypergraph, labels)
+    n1, n2, _n3 = nodes
+    return n1 not in e3 and n2 not in e1
+
+
+def find_berge_cycle(
+    hypergraph: Hypergraph, max_length: Optional[int] = None
+) -> Optional[CycleWitness]:
+    """Return a Berge cycle ``(edge_labels, nodes)`` or ``None``.
+
+    The search is a DFS over sequences of distinct edges; for each closed
+    sequence it checks whether distinct linking nodes can be chosen (a
+    bipartite-matching-free greedy works because a Berge cycle of minimum
+    length never needs a clever assignment: we simply try all assignments
+    for the short sequences the search produces first).
+    """
+    labels = hypergraph.edge_labels()
+    # A Berge cycle of length 2 is two edges sharing at least two nodes.
+    for i, first in enumerate(labels):
+        for second in labels[i + 1:]:
+            shared = hypergraph.edge(first) & hypergraph.edge(second)
+            if len(shared) >= 2:
+                ordered = sorted(shared, key=repr)[:2]
+                return [first, second], ordered
+    # Longer Berge cycles: DFS over edge sequences linked by shared nodes.
+    limit = max_length if max_length is not None else len(labels)
+
+    def _extend(sequence: List[EdgeLabel], used_nodes: List[Node]) -> Optional[CycleWitness]:
+        if len(sequence) >= 3:
+            closing = hypergraph.edge(sequence[-1]) & hypergraph.edge(sequence[0])
+            for node in sorted(closing, key=repr):
+                if node not in used_nodes:
+                    return list(sequence), used_nodes + [node]
+        if len(sequence) >= limit:
+            return None
+        for label in labels:
+            if label in sequence:
+                continue
+            shared = hypergraph.edge(sequence[-1]) & hypergraph.edge(label)
+            for node in sorted(shared, key=repr):
+                if node in used_nodes:
+                    continue
+                result = _extend(sequence + [label], used_nodes + [node])
+                if result is not None:
+                    return result
+        return None
+
+    for start in labels:
+        result = _extend([start], [])
+        if result is not None:
+            return result
+    return None
+
+
+def find_beta_cycle(
+    hypergraph: Hypergraph, max_length: Optional[int] = None
+) -> Optional[CycleWitness]:
+    """Return a beta cycle ``(edge_labels, nodes)`` or ``None``.
+
+    For a fixed cyclic edge sequence ``(e_1, ..., e_q)`` the candidate set
+    for ``n_i`` is ``C_i = (e_i ∩ e_{i+1}) \\ union of the other edges``;
+    the ``C_i`` are pairwise disjoint, so a beta cycle exists on that
+    sequence iff every ``C_i`` is non-empty.  The search below enumerates
+    edge sequences with a DFS that only extends through non-empty
+    intersections.
+    """
+    labels = hypergraph.edge_labels()
+    limit = max_length if max_length is not None else len(labels)
+
+    def _witness(sequence: List[EdgeLabel]) -> Optional[List[Node]]:
+        q = len(sequence)
+        edges = _edge_sets(hypergraph, sequence)
+        nodes: List[Node] = []
+        for i in range(q):
+            candidates = set(edges[i] & edges[(i + 1) % q])
+            for j in range(q):
+                if j in (i, (i + 1) % q):
+                    continue
+                candidates -= edges[j]
+            if not candidates:
+                return None
+            nodes.append(sorted(candidates, key=repr)[0])
+        return nodes
+
+    def _extend(sequence: List[EdgeLabel]) -> Optional[CycleWitness]:
+        if len(sequence) >= 3 and hypergraph.edge(sequence[-1]) & hypergraph.edge(sequence[0]):
+            nodes = _witness(sequence)
+            if nodes is not None:
+                return list(sequence), nodes
+        if len(sequence) >= limit:
+            return None
+        last = hypergraph.edge(sequence[-1])
+        for label in labels:
+            if label in sequence:
+                continue
+            if not (last & hypergraph.edge(label)):
+                continue
+            result = _extend(sequence + [label])
+            if result is not None:
+                return result
+        return None
+
+    for start in labels:
+        result = _extend([start])
+        if result is not None:
+            return result
+    return None
+
+
+def find_gamma_triple(hypergraph: Hypergraph) -> Optional[CycleWitness]:
+    """Return a length-3 gamma cycle that is not necessarily a beta cycle.
+
+    Such a cycle exists on an ordered triple ``(e_1, e_2, e_3)`` iff
+    ``(e_1 ∩ e_2) \\ e_3``, ``(e_2 ∩ e_3) \\ e_1`` and ``e_3 ∩ e_1`` are all
+    non-empty (distinctness of the three witness nodes is then automatic).
+    """
+    labels = hypergraph.edge_labels()
+    for a, b, c in permutations(labels, 3):
+        e1, e2, e3 = hypergraph.edge(a), hypergraph.edge(b), hypergraph.edge(c)
+        first = (e1 & e2) - e3
+        second = (e2 & e3) - e1
+        third = e3 & e1
+        if first and second and third:
+            n1 = sorted(first, key=repr)[0]
+            n2 = sorted(second, key=repr)[0]
+            n3 = sorted(third, key=repr)[0]
+            return [a, b, c], [n1, n2, n3]
+    return None
+
+
+def find_gamma_cycle(
+    hypergraph: Hypergraph, max_length: Optional[int] = None
+) -> Optional[CycleWitness]:
+    """Return a gamma cycle ``(edge_labels, nodes)`` or ``None``."""
+    triple = find_gamma_triple(hypergraph)
+    if triple is not None:
+        return triple
+    return find_beta_cycle(hypergraph, max_length=max_length)

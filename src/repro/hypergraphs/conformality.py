@@ -1,0 +1,78 @@
+"""Conformality of hypergraphs.
+
+A hypergraph is *conformal* (Definition 7, following Berge) when every
+clique of its primal graph ``G(H)`` is contained in some hyperedge;
+equivalently, when every **maximal** clique of ``G(H)`` is contained in a
+hyperedge.  Together with chordality of the primal graph this is the
+paper's definition of alpha-acyclicity.
+
+Two independent implementations are provided:
+
+* :func:`is_conformal_cliques` -- the definitional test through maximal
+  clique enumeration (exponential in the worst case, exact);
+* :func:`is_conformal_gilmore` -- Gilmore's polynomial criterion: ``H`` is
+  conformal iff for every three hyperedges ``e_1, e_2, e_3`` there is a
+  hyperedge containing ``(e_1 ∩ e_2) ∪ (e_2 ∩ e_3) ∪ (e_3 ∩ e_1)``.
+
+The property-based tests cross-validate the two on random hypergraphs.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Set
+
+from repro.graphs.cliques import maximal_cliques
+from repro.hypergraphs.conversions import primal_graph
+from repro.hypergraphs.hypergraph import Hypergraph, Node
+
+
+def is_conformal_cliques(hypergraph: Hypergraph) -> bool:
+    """Definitional conformality test via maximal cliques of the primal graph."""
+    if hypergraph.number_of_edges() == 0:
+        return True
+    primal = primal_graph(hypergraph)
+    edges = hypergraph.edges()
+    for clique in maximal_cliques(primal):
+        if len(clique) <= 1:
+            # single vertices: covered as long as the vertex is in some edge
+            # (isolated primal vertices may be isolated hypergraph nodes,
+            # which do not violate conformality).
+            vertex = next(iter(clique))
+            in_some_edge = any(vertex in edge for edge in edges)
+            covered_by_edge = in_some_edge or hypergraph.node_degree(vertex) == 0
+            if not covered_by_edge:
+                return False
+            continue
+        if not any(clique <= edge for edge in edges):
+            return False
+    return True
+
+
+def is_conformal_gilmore(hypergraph: Hypergraph) -> bool:
+    """Gilmore's cubic-time conformality criterion."""
+    edges = hypergraph.edges()
+    if len(edges) <= 2:
+        return True
+    for e1, e2, e3 in combinations(edges, 3):
+        required: Set[Node] = (e1 & e2) | (e2 & e3) | (e3 & e1)
+        if not required:
+            continue
+        if not any(required <= edge for edge in edges):
+            return False
+    return True
+
+
+def is_conformal(hypergraph: Hypergraph, method: str = "gilmore") -> bool:
+    """Return ``True`` when the hypergraph is conformal.
+
+    Parameters
+    ----------
+    method:
+        ``"gilmore"`` (default, polynomial) or ``"cliques"`` (definitional).
+    """
+    if method == "gilmore":
+        return is_conformal_gilmore(hypergraph)
+    if method == "cliques":
+        return is_conformal_cliques(hypergraph)
+    raise ValueError(f"unknown conformality method {method!r}")

@@ -1,0 +1,145 @@
+"""Conversions between bipartite graphs, hypergraphs and ordinary graphs.
+
+Definition 2 of the paper associates two hypergraphs with a bipartite graph
+``G = (V1, V2, A)``:
+
+* ``H_1(G)``: one hyperedge per vertex of ``V1`` -- the edge is that
+  vertex's neighbourhood, a subset of ``V2``;
+* ``H_2(G)``: one hyperedge per vertex of ``V2`` -- the edge is that
+  vertex's neighbourhood, a subset of ``V1``.
+
+``H_1(G)`` and ``H_2(G)`` are each other's duals (Definition 3).  The
+inverse construction is the *incidence graph* of a hypergraph.  Definition 7
+additionally uses the *primal graph* (2-section) ``G(H)``.
+
+Naming note: the scanned paper's superscript convention is ambiguous; this
+library consistently uses "``H_i(G)`` has one edge per ``V_i`` vertex", see
+``DESIGN.md`` for the reconciliation with the paper's statements.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Optional
+
+from repro.exceptions import HypergraphError
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.graph import Graph
+from repro.hypergraphs.hypergraph import Hypergraph
+
+
+def hypergraph_of_side(
+    graph: BipartiteGraph, side: int, skip_isolated_edges: bool = True
+) -> Hypergraph:
+    """Return ``H_side(G)``: one hyperedge per vertex of ``V_side``.
+
+    The hyperedge labelled by a ``V_side`` vertex ``w`` is ``Adj(w)``, a
+    subset of the opposite side.  Vertices of the opposite side become the
+    hypergraph's nodes (including isolated ones, which simply belong to no
+    edge).
+
+    Parameters
+    ----------
+    skip_isolated_edges:
+        Degree-0 vertices of ``V_side`` would produce empty hyperedges,
+        which Definition 1 forbids; they are skipped by default.  Pass
+        ``False`` to raise instead, which is useful when the caller wants a
+        guarantee that no information was dropped.
+    """
+    if side not in (1, 2):
+        raise ValueError(f"side must be 1 or 2, got {side!r}")
+    edge_vertices = graph.side(side)
+    node_vertices = graph.side(3 - side)
+    hypergraph = Hypergraph(nodes=node_vertices)
+    for vertex in sorted(edge_vertices, key=repr):
+        members = graph.neighbors(vertex)
+        if not members:
+            if skip_isolated_edges:
+                continue
+            raise HypergraphError(
+                f"vertex {vertex!r} of V{side} is isolated and would produce "
+                "an empty hyperedge"
+            )
+        hypergraph.add_edge(members, label=vertex)
+    return hypergraph
+
+
+def incidence_graph(
+    hypergraph: Hypergraph,
+    node_side: int = 1,
+) -> BipartiteGraph:
+    """Return the incidence bipartite graph of a hypergraph.
+
+    Hypergraph nodes populate side ``node_side`` and edge labels populate
+    the other side; a graph edge joins node ``n`` and edge label ``e``
+    exactly when ``n`` belongs to the hyperedge ``e``.  This is the inverse
+    of :func:`hypergraph_of_side` (up to isolated vertices).
+
+    Raises
+    ------
+    HypergraphError
+        If a node and an edge label collide (they would become the same
+        graph vertex).
+    """
+    if node_side not in (1, 2):
+        raise ValueError(f"node_side must be 1 or 2, got {node_side!r}")
+    nodes = hypergraph.nodes()
+    labels = set(hypergraph.edge_labels())
+    collision = nodes & labels
+    if collision:
+        raise HypergraphError(
+            "cannot build the incidence graph: node/edge label collision "
+            f"on {sorted(collision, key=repr)!r}"
+        )
+    if node_side == 1:
+        graph = BipartiteGraph(left=nodes, right=labels)
+    else:
+        graph = BipartiteGraph(left=labels, right=nodes)
+    for label, members in hypergraph.edge_items():
+        for node in members:
+            graph.add_edge(node, label)
+    return graph
+
+
+def primal_graph(hypergraph: Hypergraph) -> Graph:
+    """Return the primal graph (2-section) ``G(H)`` of Definition 7.
+
+    The primal graph has the hypergraph's nodes as vertices and an edge
+    between every pair of nodes that co-occur in some hyperedge.
+    """
+    graph = Graph(vertices=hypergraph.nodes())
+    for members in hypergraph.edges():
+        ordered = sorted(members, key=repr)
+        for i, u in enumerate(ordered):
+            for v in ordered[i + 1:]:
+                graph.add_edge(u, v)
+    return graph
+
+
+def hypergraph_from_relation_schemes(
+    schemes: Iterable, labels: Optional[Iterable[Hashable]] = None
+) -> Hypergraph:
+    """Build a hypergraph from an iterable of attribute collections.
+
+    This is the classical "database schema as hypergraph" view: every
+    relation scheme (a set of attributes) becomes a hyperedge.  ``labels``
+    optionally names the relations; otherwise ``R0, R1, ...`` are used.
+    """
+    hypergraph = Hypergraph()
+    label_list = list(labels) if labels is not None else None
+    for index, scheme in enumerate(schemes):
+        if label_list is not None:
+            label = label_list[index]
+        else:
+            label = f"R{index}"
+        hypergraph.add_edge(scheme, label=label)
+    return hypergraph
+
+
+def schema_bipartite_graph(hypergraph: Hypergraph) -> BipartiteGraph:
+    """Return the schema graph: attributes on ``V1``, relation names on ``V2``.
+
+    This is the bipartite representation of a relational schema used
+    throughout Section 3 of the paper (attributes = ``V1``, relation
+    schemes = ``V2``), i.e. the incidence graph with nodes on side 1.
+    """
+    return incidence_graph(hypergraph, node_side=1)

@@ -1,0 +1,82 @@
+"""The GYO (Graham / Yu-Ozsoyoglu) reduction for alpha-acyclicity.
+
+The reduction repeatedly applies two rules:
+
+1. delete a node that appears in at most one edge (an *ear node*);
+2. delete an edge that is contained in another edge (including duplicate
+   edges).
+
+A hypergraph is alpha-acyclic exactly when the reduction erases every edge.
+This is one of the three independent alpha-acyclicity tests in the library
+(the others being the definitional "chordal primal graph + conformal" test
+of Definition 7 and the maximum-cardinality-search test of Tarjan and
+Yannakakis); the test-suite cross-validates all three.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.hypergraphs.hypergraph import EdgeLabel, Hypergraph, Node
+
+
+def gyo_reduction(hypergraph: Hypergraph) -> Tuple[Hypergraph, List[Tuple[str, object]]]:
+    """Run the GYO reduction to a fixpoint.
+
+    Returns
+    -------
+    (reduced, trace):
+        ``reduced`` is the hypergraph left when no rule applies any more
+        (its node set keeps isolated nodes, which are irrelevant for
+        acyclicity), and ``trace`` is the list of applied steps, each a
+        pair ``("node", n)`` or ``("edge", label)`` in application order.
+        The trace doubles as an elimination certificate for acyclic inputs.
+    """
+    current = hypergraph.copy()
+    trace: List[Tuple[str, object]] = []
+    changed = True
+    while changed:
+        changed = False
+        # Rule 2: remove edges contained in (or equal to) another edge.
+        items = current.edge_items()
+        removed_edge = None
+        for label, members in items:
+            for other_label, other_members in items:
+                if label == other_label:
+                    continue
+                if members < other_members or (
+                    members == other_members and repr(label) > repr(other_label)
+                ):
+                    removed_edge = label
+                    break
+            if removed_edge is not None:
+                break
+        if removed_edge is not None:
+            current.remove_edge(removed_edge)
+            trace.append(("edge", removed_edge))
+            changed = True
+            continue
+        # Rule 1: remove a node that appears in at most one edge.
+        for node in sorted(current.nodes(), key=repr):
+            degree = current.node_degree(node)
+            if degree <= 1:
+                if degree == 0:
+                    # isolated nodes are irrelevant; drop them silently so
+                    # that the loop terminates, but do not record them as
+                    # reduction steps.
+                    current.remove_node(node)
+                    changed = True
+                    break
+                current.remove_node(node)
+                trace.append(("node", node))
+                changed = True
+                break
+    return current, trace
+
+
+def is_alpha_acyclic_gyo(hypergraph: Hypergraph) -> bool:
+    """Return ``True`` when the GYO reduction erases every edge."""
+    if hypergraph.number_of_edges() == 0:
+        return True
+    reduced, _trace = gyo_reduction(hypergraph)
+    return reduced.number_of_edges() == 0

@@ -1,0 +1,312 @@
+"""Hypergraphs with named (and possibly duplicated) edges.
+
+Definition 1 of the paper: a hypergraph ``H = (N, E)`` has a finite node
+set and a *family* of non-empty node subsets as edges -- duplicates are
+explicitly allowed, because the hypergraph associated with a bipartite
+graph (Definition 2) has one edge per vertex of one side, and two distinct
+vertices may have identical neighbourhoods.
+
+To support duplicates every edge carries a hashable *label* (by default the
+label of the bipartite-graph vertex it came from, or a generated
+``"e<k>"``).  The label is what the dual hypergraph (Definition 3) uses as
+its node identity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.exceptions import HypergraphError
+
+Node = Hashable
+EdgeLabel = Hashable
+
+
+class Hypergraph:
+    """A finite hypergraph with labelled edges.
+
+    Parameters
+    ----------
+    nodes:
+        Optional iterable of initial nodes (nodes mentioned by edges are
+        added automatically).
+    edges:
+        Optional iterable of edges.  Each item is either an iterable of
+        nodes (an anonymous edge, labelled ``e0, e1, ...``) or a pair
+        ``(label, iterable_of_nodes)``.
+
+    Examples
+    --------
+    >>> h = Hypergraph(edges=[("r1", {"a", "b"}), ("r2", {"b", "c"})])
+    >>> sorted(h.edge("r1"))
+    ['a', 'b']
+    >>> sorted(h.edges_containing("b"))
+    ['r1', 'r2']
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[Node] = (),
+        edges: Iterable = (),
+    ) -> None:
+        self._nodes: Set[Node] = set()
+        self._edges: Dict[EdgeLabel, FrozenSet[Node]] = {}
+        self._fresh_label = 0
+        for node in nodes:
+            self.add_node(node)
+        for edge in edges:
+            if (
+                isinstance(edge, tuple)
+                and len(edge) == 2
+                and isinstance(edge[0], Hashable)
+                and not isinstance(edge[0], (set, frozenset))
+                and _looks_like_node_collection(edge[1])
+            ):
+                label, members = edge
+                self.add_edge(members, label=label)
+            else:
+                self.add_edge(edge)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edge_dict(cls, edges: Dict[EdgeLabel, Iterable[Node]]) -> "Hypergraph":
+        """Build a hypergraph from a ``label -> node iterable`` mapping."""
+        hypergraph = cls()
+        for label, members in edges.items():
+            hypergraph.add_edge(members, label=label)
+        return hypergraph
+
+    def copy(self) -> "Hypergraph":
+        """Return an independent copy."""
+        clone = Hypergraph(nodes=self._nodes)
+        for label, members in self._edges.items():
+            clone.add_edge(members, label=label)
+        return clone
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        """Add an isolated node (idempotent)."""
+        self._nodes.add(node)
+
+    def add_edge(self, members: Iterable[Node], label: Optional[EdgeLabel] = None) -> EdgeLabel:
+        """Add an edge over ``members`` and return its label.
+
+        Edges must be non-empty (Definition 1).  Duplicate node sets are
+        allowed as long as the labels differ.
+        """
+        member_set = frozenset(members)
+        if not member_set:
+            raise HypergraphError("hyperedges must be non-empty")
+        if label is None:
+            label = self._generate_label()
+        if label in self._edges:
+            raise HypergraphError(f"edge label {label!r} is already used")
+        self._edges[label] = member_set
+        self._nodes |= member_set
+        return label
+
+    def _generate_label(self) -> str:
+        while f"e{self._fresh_label}" in self._edges:
+            self._fresh_label += 1
+        label = f"e{self._fresh_label}"
+        self._fresh_label += 1
+        return label
+
+    def remove_edge(self, label: EdgeLabel) -> None:
+        """Remove the edge with the given label (nodes are kept)."""
+        if label not in self._edges:
+            raise HypergraphError(f"edge {label!r} is not in the hypergraph")
+        del self._edges[label]
+
+    def remove_node(self, node: Node) -> None:
+        """Remove a node from the node set and from every edge.
+
+        Edges that become empty are removed as well (this is the behaviour
+        needed by GYO-style reductions).
+        """
+        if node not in self._nodes:
+            raise HypergraphError(f"node {node!r} is not in the hypergraph")
+        self._nodes.discard(node)
+        emptied = []
+        for label, members in self._edges.items():
+            if node in members:
+                reduced = members - {node}
+                if reduced:
+                    self._edges[label] = reduced
+                else:
+                    emptied.append(label)
+        for label in emptied:
+            del self._edges[label]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def nodes(self) -> Set[Node]:
+        """Return the node set (a fresh set)."""
+        return set(self._nodes)
+
+    def edge_labels(self) -> List[EdgeLabel]:
+        """Return the edge labels in deterministic (repr-sorted) order."""
+        return sorted(self._edges, key=repr)
+
+    def edge(self, label: EdgeLabel) -> FrozenSet[Node]:
+        """Return the node set of the edge with the given label."""
+        if label not in self._edges:
+            raise HypergraphError(f"edge {label!r} is not in the hypergraph")
+        return self._edges[label]
+
+    def edges(self) -> List[FrozenSet[Node]]:
+        """Return the edge family as a list of frozensets (duplicates kept)."""
+        return [self._edges[label] for label in self.edge_labels()]
+
+    def edge_items(self) -> List[Tuple[EdgeLabel, FrozenSet[Node]]]:
+        """Return ``(label, members)`` pairs in deterministic order."""
+        return [(label, self._edges[label]) for label in self.edge_labels()]
+
+    def has_edge_label(self, label: EdgeLabel) -> bool:
+        """Return ``True`` when an edge with this label exists."""
+        return label in self._edges
+
+    def has_node(self, node: Node) -> bool:
+        """Return ``True`` when the node belongs to the hypergraph."""
+        return node in self._nodes
+
+    def edges_containing(self, node: Node) -> List[EdgeLabel]:
+        """Return the labels of the edges containing ``node``."""
+        return [label for label, members in self.edge_items() if node in members]
+
+    def node_degree(self, node: Node) -> int:
+        """Return the number of edges containing ``node``."""
+        return len(self.edges_containing(node))
+
+    def number_of_nodes(self) -> int:
+        """Return ``|N|``."""
+        return len(self._nodes)
+
+    def number_of_edges(self) -> int:
+        """Return ``|E|`` (duplicates counted)."""
+        return len(self._edges)
+
+    def total_edge_size(self) -> int:
+        """Return the total size ``sum(|e| for e in E)`` (the ``m`` of TY)."""
+        return sum(len(members) for members in self._edges.values())
+
+    def isolated_nodes(self) -> Set[Node]:
+        """Return the nodes that belong to no edge."""
+        covered: Set[Node] = set()
+        for members in self._edges.values():
+            covered |= members
+        return self._nodes - covered
+
+    # ------------------------------------------------------------------
+    # derived hypergraphs
+    # ------------------------------------------------------------------
+    def dual(self) -> "Hypergraph":
+        """Return the dual hypergraph (Definition 3).
+
+        The dual's nodes are this hypergraph's edge labels; for every node
+        ``n`` of this hypergraph that belongs to at least one edge, the dual
+        has an edge labelled ``n`` containing the labels of the edges that
+        contain ``n``.
+        """
+        dual = Hypergraph(nodes=self._edges.keys())
+        for node in sorted(self._nodes, key=repr):
+            containing = self.edges_containing(node)
+            if containing:
+                dual.add_edge(containing, label=node)
+        return dual
+
+    def partial_hypergraph(self, labels: Iterable[EdgeLabel]) -> "Hypergraph":
+        """Return the hypergraph consisting of the selected edges only.
+
+        The node set is restricted to the nodes covered by those edges.
+        This is the notion of "subhypergraph generated by a set of edges"
+        used when relating beta-acyclicity to alpha-acyclicity of every
+        partial hypergraph.
+        """
+        chosen = list(labels)
+        partial = Hypergraph()
+        for label in chosen:
+            partial.add_edge(self.edge(label), label=label)
+        return partial
+
+    def induced_hypergraph(self, nodes: Iterable[Node]) -> "Hypergraph":
+        """Return the hypergraph induced by a node subset.
+
+        Every edge is intersected with the node subset; empty intersections
+        are dropped.  Labels are preserved.
+        """
+        keep = set(nodes)
+        induced = Hypergraph(nodes=keep & self._nodes)
+        for label, members in self.edge_items():
+            reduced = members & keep
+            if reduced:
+                induced.add_edge(reduced, label=label)
+        return induced
+
+    def deduplicated(self) -> "Hypergraph":
+        """Return a copy in which duplicate edges (equal node sets) are merged.
+
+        The surviving label of each group is the smallest by ``repr``.
+        """
+        result = Hypergraph(nodes=self._nodes)
+        seen: Dict[FrozenSet[Node], EdgeLabel] = {}
+        for label, members in self.edge_items():
+            if members not in seen:
+                seen[members] = label
+                result.add_edge(members, label=label)
+        return result
+
+    def remove_contained_edges(self) -> "Hypergraph":
+        """Return a copy keeping only the edges maximal under inclusion.
+
+        This is the "reduction" of a hypergraph used by the alpha-acyclicity
+        literature; alpha-acyclicity is invariant under it.
+        """
+        result = Hypergraph(nodes=self._nodes)
+        items = self.edge_items()
+        for label, members in items:
+            strictly_inside_other = False
+            for other_label, other_members in items:
+                if label == other_label:
+                    continue
+                if members < other_members:
+                    strictly_inside_other = True
+                    break
+                if members == other_members and repr(other_label) < repr(label):
+                    strictly_inside_other = True
+                    break
+            if not strictly_inside_other:
+                result.add_edge(members, label=label)
+        return result
+
+    # ------------------------------------------------------------------
+    # dunder protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._nodes
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Hypergraph):
+            return NotImplemented
+        return self._nodes == other._nodes and dict(self._edges) == dict(other._edges)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Hypergraph(|N|={self.number_of_nodes()}, |E|={self.number_of_edges()})"
+        )
+
+
+def _looks_like_node_collection(value) -> bool:
+    """Heuristic used by the constructor to accept ``(label, members)`` pairs."""
+    return isinstance(value, (set, frozenset, list, tuple, range))

@@ -1,0 +1,116 @@
+"""Join trees of alpha-acyclic hypergraphs.
+
+A *join tree* of a hypergraph is a tree whose vertices are the hyperedge
+labels such that, for every node ``n``, the hyperedges containing ``n``
+induce a connected subtree.  A hypergraph admits a join tree iff it is
+alpha-acyclic; this is the structure behind the running-intersection
+ordering of Lemma 1 and behind the semijoin programs of the database
+motivation (Section 1 and the conclusions of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.graphs.graph import Graph
+from repro.hypergraphs.hypergraph import EdgeLabel, Hypergraph
+from repro.hypergraphs.tarjan_yannakakis import (
+    running_intersection_ordering,
+)
+
+
+def build_join_tree(hypergraph: Hypergraph) -> Optional[Graph]:
+    """Return a join tree (a :class:`Graph` over edge labels) or ``None``.
+
+    ``None`` is returned when the hypergraph is not alpha-acyclic.  For a
+    hypergraph with a single edge the join tree is a single isolated
+    vertex; for the empty hypergraph it is the empty graph.
+    """
+    ordering = running_intersection_ordering(hypergraph)
+    if ordering is None:
+        return None
+    tree = Graph(vertices=ordering)
+    union_so_far = set()
+    for index, label in enumerate(ordering):
+        members = hypergraph.edge(label)
+        if index == 0:
+            union_so_far |= members
+            continue
+        intersection = members & union_so_far
+        parent = None
+        if intersection:
+            for j in range(index):
+                if intersection <= hypergraph.edge(ordering[j]):
+                    parent = ordering[j]
+                    break
+        else:
+            # new connected component: attach to the previous edge so the
+            # result stays a tree (the connectivity condition is vacuous
+            # for nodes not shared between components).
+            parent = ordering[index - 1]
+        if parent is None:
+            return None
+        tree.add_edge(label, parent)
+        union_so_far |= members
+    return tree
+
+
+def is_join_tree(hypergraph: Hypergraph, tree: Graph) -> bool:
+    """Check the join-tree property of ``tree`` for ``hypergraph``.
+
+    The tree must span exactly the hyperedge labels and, for every
+    hypergraph node, the labels of the edges containing it must induce a
+    connected subtree.
+    """
+    from repro.graphs.spanning import is_tree
+    from repro.graphs.traversal import is_connected
+
+    labels = set(hypergraph.edge_labels())
+    if tree.vertices() != labels:
+        return False
+    if len(labels) >= 1 and not (is_tree(tree) or len(labels) == 1):
+        # a single label with no edges is an acceptable (trivial) tree
+        if not (len(labels) == 1 and tree.number_of_edges() == 0):
+            return False
+    for node in hypergraph.nodes():
+        containing = hypergraph.edges_containing(node)
+        if len(containing) <= 1:
+            continue
+        induced = tree.subgraph(containing)
+        if not is_connected(induced) or induced.number_of_vertices() != len(containing):
+            return False
+    return True
+
+
+def join_tree_parent_map(
+    hypergraph: Hypergraph,
+) -> Optional[Tuple[List[EdgeLabel], Dict[EdgeLabel, Optional[EdgeLabel]]]]:
+    """Return ``(ordering, parent_map)`` for a rooted join tree, or ``None``.
+
+    The ordering is a running-intersection ordering; each label's parent is
+    an earlier label containing its intersection with everything earlier
+    (``None`` for the first label and for the roots of new components).
+    This rooted form is what the semijoin program of
+    :mod:`repro.semantic.joins` consumes.
+    """
+    ordering = running_intersection_ordering(hypergraph)
+    if ordering is None:
+        return None
+    parents: Dict[EdgeLabel, Optional[EdgeLabel]] = {}
+    union_so_far = set()
+    for index, label in enumerate(ordering):
+        members = hypergraph.edge(label)
+        if index == 0:
+            parents[label] = None
+            union_so_far |= members
+            continue
+        intersection = members & union_so_far
+        parent = None
+        if intersection:
+            for j in range(index):
+                if intersection <= hypergraph.edge(ordering[j]):
+                    parent = ordering[j]
+                    break
+        parents[label] = parent
+        union_so_far |= members
+    return ordering, parents

@@ -1,0 +1,26 @@
+"""Semantic data model layer: ER schemas, relational schemas, query interpretation."""
+
+from repro.semantic.er_model import ERSchema
+from repro.semantic.instance import Database, Relation
+from repro.semantic.joins import (
+    JoinPlan,
+    answer_query_over_connection,
+    plain_join_plan,
+    semijoin_program,
+)
+from repro.semantic.query import Interpretation, QueryInterpreter
+from repro.semantic.relational import RelationalSchema, schema_from_hypergraph
+
+__all__ = [
+    "Database",
+    "ERSchema",
+    "Interpretation",
+    "JoinPlan",
+    "QueryInterpreter",
+    "Relation",
+    "RelationalSchema",
+    "answer_query_over_connection",
+    "plain_join_plan",
+    "schema_from_hypergraph",
+    "semijoin_program",
+]

@@ -1,0 +1,202 @@
+"""Entity-relationship schemas and their graph representations.
+
+Figure 1 of the paper shows an entity-relationship scheme and "the
+associated 3-partite graph": attributes, entities and relationships form
+three conceptual levels, each level defined only in terms of the one below
+it.  The paper's results apply whenever the schema graph is bipartite --
+which is automatic when consecutive levels alternate (attributes vs.
+entities, entities+attributes vs. relationships), and more generally
+whenever the concept graph is 2-colourable.
+
+:class:`ERSchema` models the three levels explicitly and offers:
+
+* :meth:`ERSchema.concept_graph` -- the full k-partite concept graph;
+* :meth:`ERSchema.bipartite_graph` -- the same graph with the natural
+  2-colouring (aggregations -- entities and relationships -- on ``V_2``,
+  aggregated objects -- attributes and entities-as-members -- on ``V_1``),
+  raising if the schema violates bipartiteness;
+* :meth:`ERSchema.relational_schema` -- the standard translation (one
+  relation per entity and per relationship).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set
+
+from repro.exceptions import ValidationError
+from repro.graphs.bipartite import BipartiteGraph, is_bipartite, two_coloring
+from repro.graphs.graph import Graph
+from repro.semantic.relational import RelationalSchema
+
+
+class ERSchema:
+    """An entity-relationship schema with attributes, entities, relationships.
+
+    Parameters
+    ----------
+    entities:
+        Mapping from entity name to its attribute names.
+    relationships:
+        Mapping from relationship name to the entities it connects; a
+        relationship may also have its own attributes via
+        ``relationship_attributes``.
+    relationship_attributes:
+        Optional mapping from relationship name to extra attribute names.
+
+    Examples
+    --------
+    >>> er = ERSchema(
+    ...     entities={"EMPLOYEE": ["NAME", "DATE"]},
+    ...     relationships={},
+    ... )
+    >>> "EMPLOYEE" in er.entity_names()
+    True
+    """
+
+    def __init__(
+        self,
+        entities: Mapping[str, Iterable[str]],
+        relationships: Mapping[str, Iterable[str]],
+        relationship_attributes: Optional[Mapping[str, Iterable[str]]] = None,
+    ) -> None:
+        self._entities: Dict[str, FrozenSet[str]] = {
+            name: frozenset(attributes) for name, attributes in entities.items()
+        }
+        self._relationships: Dict[str, FrozenSet[str]] = {
+            name: frozenset(members) for name, members in relationships.items()
+        }
+        extra = relationship_attributes or {}
+        self._relationship_attributes: Dict[str, FrozenSet[str]] = {
+            name: frozenset(extra.get(name, ())) for name in self._relationships
+        }
+        self._validate()
+
+    def _validate(self) -> None:
+        overlap = set(self._entities) & set(self._relationships)
+        if overlap:
+            raise ValidationError(
+                f"names {sorted(overlap)!r} are used both as entities and relationships"
+            )
+        for name, members in self._relationships.items():
+            unknown = [m for m in members if m not in self._entities]
+            if unknown:
+                raise ValidationError(
+                    f"relationship {name!r} references unknown entities {unknown!r}"
+                )
+            if not members:
+                raise ValidationError(f"relationship {name!r} connects no entities")
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def entity_names(self) -> List[str]:
+        """Return the entity names in deterministic order."""
+        return sorted(self._entities)
+
+    def relationship_names(self) -> List[str]:
+        """Return the relationship names in deterministic order."""
+        return sorted(self._relationships)
+
+    def attribute_names(self) -> List[str]:
+        """Return every attribute name used by entities or relationships."""
+        result: Set[str] = set()
+        for attributes in self._entities.values():
+            result |= attributes
+        for attributes in self._relationship_attributes.values():
+            result |= attributes
+        return sorted(result)
+
+    def entity_attributes(self, entity: str) -> FrozenSet[str]:
+        """Return the attributes of one entity."""
+        if entity not in self._entities:
+            raise ValidationError(f"unknown entity {entity!r}")
+        return self._entities[entity]
+
+    def relationship_members(self, relationship: str) -> FrozenSet[str]:
+        """Return the entities connected by one relationship."""
+        if relationship not in self._relationships:
+            raise ValidationError(f"unknown relationship {relationship!r}")
+        return self._relationships[relationship]
+
+    def relationship_attrs(self, relationship: str) -> FrozenSet[str]:
+        """Return the own attributes of one relationship."""
+        if relationship not in self._relationships:
+            raise ValidationError(f"unknown relationship {relationship!r}")
+        return self._relationship_attributes[relationship]
+
+    def object_names(self) -> List[str]:
+        """Return every object name (attribute, entity or relationship)."""
+        return sorted(
+            set(self.attribute_names())
+            | set(self.entity_names())
+            | set(self.relationship_names())
+        )
+
+    # ------------------------------------------------------------------
+    # graph views
+    # ------------------------------------------------------------------
+    def concept_graph(self) -> Graph:
+        """Return the k-partite concept graph of Fig. 1.
+
+        Vertices are attributes, entities and relationships; edges join an
+        aggregation to each object it aggregates (entity-attribute,
+        relationship-entity, relationship-attribute).
+        """
+        graph = Graph(vertices=self.object_names())
+        for entity, attributes in self._entities.items():
+            for attribute in attributes:
+                graph.add_edge(entity, attribute)
+        for relationship, members in self._relationships.items():
+            for entity in members:
+                graph.add_edge(relationship, entity)
+            for attribute in self._relationship_attributes[relationship]:
+                graph.add_edge(relationship, attribute)
+        return graph
+
+    def is_bipartite(self) -> bool:
+        """Return ``True`` when the concept graph is 2-colourable."""
+        return is_bipartite(self.concept_graph())
+
+    def bipartite_graph(self) -> BipartiteGraph:
+        """Return the concept graph as a bipartite graph.
+
+        The natural 2-colouring puts entities and relationship attributes
+        together with... in general the levels do not induce a canonical
+        bipartition, so a 2-colouring of the concept graph is computed (the
+        paper's requirement is exactly that the graph "can be recognised to
+        be bipartite despite the number of conceptual levels").  The side
+        containing the lexicographically smallest attribute is labelled
+        ``V_1``.
+
+        Raises
+        ------
+        BipartitenessError
+            If the concept graph contains an odd cycle.
+        """
+        graph = self.concept_graph()
+        left, right = two_coloring(graph)
+        attributes = set(self.attribute_names())
+        if attributes and min(attributes) in right:
+            left, right = right, left
+        return BipartiteGraph.from_parts(left, right, graph.edges())
+
+    # ------------------------------------------------------------------
+    # translation to the relational model
+    # ------------------------------------------------------------------
+    def relational_schema(self) -> RelationalSchema:
+        """Return the standard relational translation.
+
+        Every entity becomes a relation over its attributes; every
+        relationship becomes a relation over the key attributes of the
+        entities it connects (here: all their attributes, as the paper's
+        abstract setting has no key designation) plus its own attributes.
+        """
+        schemes: Dict[str, Set[str]] = {}
+        for entity, attributes in self._entities.items():
+            schemes[entity] = set(attributes)
+        for relationship, members in self._relationships.items():
+            attributes: Set[str] = set(self._relationship_attributes[relationship])
+            for entity in members:
+                attributes |= self._entities[entity]
+            schemes[relationship] = attributes
+        return RelationalSchema(schemes)

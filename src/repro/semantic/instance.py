@@ -1,0 +1,201 @@
+"""A minimal in-memory relational engine.
+
+The paper's motivation is the *universal relation interface*: the user asks
+for a set of attributes, the system finds a minimal connection among the
+relations mentioning them and evaluates the corresponding join.  To make
+that scenario executable end-to-end this module provides the smallest
+relational substrate that suffices:
+
+* :class:`Relation` -- a named set of tuples over a fixed attribute list,
+  with projection, selection, natural join, semijoin and union;
+* :class:`Database` -- a collection of relations keyed by name, able to
+  evaluate a join plan produced by :mod:`repro.semantic.joins`.
+
+Tuples are stored as ``dict`` rows (attribute -> value); the engine is
+deliberately simple and entirely deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ValidationError
+
+Attribute = Hashable
+Row = Dict[Attribute, object]
+
+
+class Relation:
+    """A named relation instance: an attribute list and a set of rows.
+
+    Rows are dictionaries mapping every attribute of the scheme to a value;
+    duplicate rows are collapsed (set semantics).
+
+    Examples
+    --------
+    >>> r = Relation("emp", ["name", "dept"], [{"name": "ada", "dept": "cs"}])
+    >>> len(r)
+    1
+    """
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Sequence[Attribute],
+        rows: Iterable[Row] = (),
+    ) -> None:
+        self.name = name
+        self.attributes: Tuple[Attribute, ...] = tuple(attributes)
+        if len(set(self.attributes)) != len(self.attributes):
+            raise ValidationError(f"relation {name!r} has duplicate attributes")
+        self._rows: set = set()
+        for row in rows:
+            self.add_row(row)
+
+    # ------------------------------------------------------------------
+    # construction / mutation
+    # ------------------------------------------------------------------
+    def add_row(self, row: Row) -> None:
+        """Add one row; it must define exactly the relation's attributes."""
+        if set(row) != set(self.attributes):
+            raise ValidationError(
+                f"row attributes {sorted(map(repr, row))} do not match the scheme "
+                f"of relation {self.name!r}"
+            )
+        self._rows.add(tuple(row[a] for a in self.attributes))
+
+    def copy(self, name: Optional[str] = None) -> "Relation":
+        """Return a copy (optionally renamed)."""
+        clone = Relation(name or self.name, self.attributes)
+        clone._rows = set(self._rows)
+        return clone
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def rows(self) -> List[Row]:
+        """Return the rows as a list of dicts (deterministically ordered)."""
+        return [dict(zip(self.attributes, values)) for values in sorted(self._rows, key=repr)]
+
+    def scheme(self) -> FrozenSet[Attribute]:
+        """Return the attribute set of this relation."""
+        return frozenset(self.attributes)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return (
+            self.scheme() == other.scheme()
+            and {frozenset(r.items()) for r in self.rows()}
+            == {frozenset(r.items()) for r in other.rows()}
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Relation({self.name!r}, {list(self.attributes)!r}, {len(self)} rows)"
+
+    # ------------------------------------------------------------------
+    # relational operators
+    # ------------------------------------------------------------------
+    def project(self, attributes: Sequence[Attribute], name: Optional[str] = None) -> "Relation":
+        """Return the projection onto ``attributes`` (duplicates removed)."""
+        missing = [a for a in attributes if a not in self.attributes]
+        if missing:
+            raise ValidationError(f"cannot project onto unknown attributes {missing!r}")
+        result = Relation(name or f"project({self.name})", attributes)
+        for row in self.rows():
+            result.add_row({a: row[a] for a in attributes})
+        return result
+
+    def select(self, predicate: Callable[[Row], bool], name: Optional[str] = None) -> "Relation":
+        """Return the rows satisfying ``predicate``."""
+        result = Relation(name or f"select({self.name})", self.attributes)
+        for row in self.rows():
+            if predicate(row):
+                result.add_row(row)
+        return result
+
+    def natural_join(self, other: "Relation", name: Optional[str] = None) -> "Relation":
+        """Return the natural join with ``other`` (hash join on shared attributes)."""
+        shared = [a for a in self.attributes if a in other.attributes]
+        output_attributes = list(self.attributes) + [
+            a for a in other.attributes if a not in self.attributes
+        ]
+        result = Relation(name or f"join({self.name},{other.name})", output_attributes)
+        index: Dict[tuple, List[Row]] = {}
+        for row in other.rows():
+            key = tuple(row[a] for a in shared)
+            index.setdefault(key, []).append(row)
+        for row in self.rows():
+            key = tuple(row[a] for a in shared)
+            for match in index.get(key, []):
+                combined = dict(row)
+                combined.update(match)
+                result.add_row(combined)
+        return result
+
+    def semijoin(self, other: "Relation", name: Optional[str] = None) -> "Relation":
+        """Return the semijoin ``self ⋉ other``: rows of ``self`` that join with ``other``."""
+        shared = [a for a in self.attributes if a in other.attributes]
+        keys = {tuple(row[a] for a in shared) for row in other.rows()}
+        result = Relation(name or f"semijoin({self.name},{other.name})", self.attributes)
+        for row in self.rows():
+            if tuple(row[a] for a in shared) in keys:
+                result.add_row(row)
+        return result
+
+    def union(self, other: "Relation", name: Optional[str] = None) -> "Relation":
+        """Return the union (schemes must match)."""
+        if self.scheme() != other.scheme():
+            raise ValidationError("union requires identical schemes")
+        result = Relation(name or f"union({self.name},{other.name})", self.attributes)
+        for row in self.rows():
+            result.add_row(row)
+        for row in other.rows():
+            result.add_row({a: row[a] for a in self.attributes})
+        return result
+
+
+class Database:
+    """A collection of named relations (one per relation scheme)."""
+
+    def __init__(self, relations: Iterable[Relation] = ()) -> None:
+        self._relations: Dict[str, Relation] = {}
+        for relation in relations:
+            self.add_relation(relation)
+
+    def add_relation(self, relation: Relation) -> None:
+        """Register a relation (its name must be unused)."""
+        if relation.name in self._relations:
+            raise ValidationError(f"relation name {relation.name!r} is already used")
+        self._relations[relation.name] = relation
+
+    def relation(self, name: str) -> Relation:
+        """Return the relation with the given name."""
+        if name not in self._relations:
+            raise ValidationError(f"unknown relation {name!r}")
+        return self._relations[name]
+
+    def relation_names(self) -> List[str]:
+        """Return the relation names in deterministic order."""
+        return sorted(self._relations)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def join_all(self, names: Sequence[str]) -> Relation:
+        """Natural-join the named relations left to right."""
+        if not names:
+            raise ValidationError("join_all requires at least one relation name")
+        result = self.relation(names[0]).copy()
+        for name in names[1:]:
+            result = result.natural_join(self.relation(name))
+        return result

@@ -1,0 +1,150 @@
+"""Join plans and semijoin programs over minimal connections.
+
+Once a minimal connection (a tree in the schema graph) has been found, the
+database side of the paper's motivation takes over: the relations on the
+connection are joined, and when the sub-schema is alpha-acyclic the join
+can be preceded by a *full semijoin reducer* (Yannakakis / Bernstein-Chiu):
+sweep the join tree leaves-to-root and root-to-leaves with semijoins, after
+which every remaining tuple participates in the final join.  This module
+implements both the plain join plan and the semijoin program, driven by the
+join trees of :mod:`repro.hypergraphs.join_tree`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ValidationError
+from repro.hypergraphs.hypergraph import Hypergraph
+from repro.hypergraphs.join_tree import join_tree_parent_map
+from repro.semantic.instance import Database, Relation
+from repro.semantic.relational import RelationalSchema
+
+
+@dataclass
+class JoinPlan:
+    """An executable plan: an ordered list of relations plus optional semijoins.
+
+    Attributes
+    ----------
+    relations:
+        Relation names in join order.
+    semijoin_steps:
+        Pairs ``(target, source)`` meaning "replace target by
+        ``target ⋉ source``", executed before the joins.
+    projection:
+        Optional attribute list for the final projection.
+    """
+
+    relations: List[str]
+    semijoin_steps: List[Tuple[str, str]] = field(default_factory=list)
+    projection: Optional[List] = None
+
+    def execute(self, database: Database) -> Relation:
+        """Run the plan against a database and return the result relation."""
+        if not self.relations:
+            raise ValidationError("a join plan needs at least one relation")
+        working: Dict[str, Relation] = {
+            name: database.relation(name).copy() for name in self.relations
+        }
+        for target, source in self.semijoin_steps:
+            working[target] = working[target].semijoin(working[source])
+        result = working[self.relations[0]]
+        for name in self.relations[1:]:
+            result = result.natural_join(working[name])
+        if self.projection is not None:
+            result = result.project(list(self.projection))
+        return result
+
+    def describe(self) -> List[str]:
+        """Return a human-readable description of the plan steps."""
+        lines = [
+            f"semijoin: {target} := {target} ⋉ {source}"
+            for target, source in self.semijoin_steps
+        ]
+        lines.append("join: " + " ⋈ ".join(self.relations))
+        if self.projection is not None:
+            lines.append("project: " + ", ".join(map(str, self.projection)))
+        return lines
+
+
+def plain_join_plan(
+    relations: Sequence[str], projection: Optional[Iterable] = None
+) -> JoinPlan:
+    """Return a plan that simply joins the given relations in order."""
+    return JoinPlan(relations=list(relations), projection=list(projection) if projection else None)
+
+
+def semijoin_program(
+    schema: RelationalSchema,
+    relations: Sequence[str],
+    projection: Optional[Iterable] = None,
+) -> JoinPlan:
+    """Return a full-reducer plan for an alpha-acyclic set of relations.
+
+    The sub-hypergraph induced by ``relations`` must be alpha-acyclic (this
+    is guaranteed when the whole schema is alpha-acyclic because
+    alpha-acyclicity is *not* hereditary in general -- hence the explicit
+    check here).  The plan performs an upward (leaves to root) and a
+    downward (root to leaves) semijoin sweep over a join tree, then joins
+    along the same tree order.
+
+    Raises
+    ------
+    ValidationError
+        If the selected relations do not admit a join tree.
+    """
+    relation_list = list(relations)
+    if not relation_list:
+        raise ValidationError("semijoin_program requires at least one relation")
+    sub = Hypergraph()
+    for name in relation_list:
+        sub.add_edge(schema.scheme(name), label=name)
+    mapping = join_tree_parent_map(sub)
+    if mapping is None:
+        raise ValidationError(
+            "the selected relations are not alpha-acyclic; no full reducer exists"
+        )
+    ordering, parents = mapping
+    # upward sweep: children reduce their parents, processed leaves-to-root
+    upward: List[Tuple[str, str]] = []
+    for label in reversed(ordering):
+        parent = parents.get(label)
+        if parent is not None:
+            upward.append((parent, label))
+    # downward sweep: parents reduce their children, processed root-to-leaves
+    downward: List[Tuple[str, str]] = []
+    for label in ordering:
+        parent = parents.get(label)
+        if parent is not None:
+            downward.append((label, parent))
+    return JoinPlan(
+        relations=list(ordering),
+        semijoin_steps=upward + downward,
+        projection=list(projection) if projection else None,
+    )
+
+
+def answer_query_over_connection(
+    schema: RelationalSchema,
+    database: Database,
+    connection_relations: Sequence[str],
+    requested_attributes: Optional[Iterable] = None,
+    use_semijoins: bool = True,
+) -> Relation:
+    """Evaluate the join over a minimal connection's relations.
+
+    This is the final step of the universal-relation pipeline: the
+    relations of the connection are joined (with a semijoin reducer when
+    they are alpha-acyclic and ``use_semijoins`` is set) and the result is
+    projected onto the attributes the user asked for.
+    """
+    if use_semijoins:
+        try:
+            plan = semijoin_program(schema, connection_relations, requested_attributes)
+        except ValidationError:
+            plan = plain_join_plan(connection_relations, requested_attributes)
+    else:
+        plan = plain_join_plan(connection_relations, requested_attributes)
+    return plan.execute(database)

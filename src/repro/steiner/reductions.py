@@ -1,0 +1,247 @@
+"""NP-hardness reduction gadgets (Theorem 2, Corollary 3, Section 3 remarks).
+
+Theorem 2 proves that the Steiner problem remains NP-complete on
+``V_2``-chordal, ``V_2``-conformal bipartite graphs by reduction from
+*Exact Cover by 3-Sets* (X3C): given a ground set ``X`` with ``|X| = 3q``
+and a family ``C`` of 3-element subsets, decide whether some subfamily
+covers every element exactly once.
+
+The reduction builds the bipartite graph of Fig. 6:
+
+* ``V_1`` holds one vertex per 3-set ``c_j``;
+* ``V_2`` holds one vertex per element ``x_i`` plus a *universal* vertex
+  ``u2`` adjacent to every ``V_1`` vertex;
+* element vertices are adjacent to the 3-sets containing them;
+* the terminal set is all of ``V_2``.
+
+The instance has a Steiner tree with at most ``4q + 1`` vertices iff the
+X3C instance is a yes-instance; and (Corollary 3) it has a tree using at
+most ``q`` vertices of ``V_1`` iff the same holds.  A brute-force X3C
+solver is included so the reduction can be validated end-to-end, and the
+Section 3 reduction from the cardinality Steiner problem on chordal graphs
+to the pseudo-Steiner problem on ``V_1``-chordal bipartite graphs (Fig. 9)
+is provided as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import ValidationError
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.graph import Graph, Vertex
+from repro.utils.rng import RandomLike, ensure_rng
+
+
+# ----------------------------------------------------------------------
+# X3C instances
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class X3CInstance:
+    """An Exact-Cover-by-3-Sets instance.
+
+    Attributes
+    ----------
+    elements:
+        The ground set ``X``; its size must be a multiple of three.
+    triples:
+        The family ``C`` of 3-element subsets of ``X``.
+    """
+
+    elements: Tuple
+    triples: Tuple[FrozenSet, ...]
+
+    def __init__(self, elements: Iterable, triples: Iterable[Iterable]) -> None:
+        element_tuple = tuple(sorted(set(elements), key=repr))
+        triple_tuple = tuple(frozenset(t) for t in triples)
+        object.__setattr__(self, "elements", element_tuple)
+        object.__setattr__(self, "triples", triple_tuple)
+        if len(element_tuple) % 3 != 0:
+            raise ValidationError("|X| must be a multiple of 3")
+        for triple in triple_tuple:
+            if len(triple) != 3:
+                raise ValidationError(f"{set(triple)!r} is not a 3-element subset")
+            if not triple <= set(element_tuple):
+                raise ValidationError(f"{set(triple)!r} is not a subset of X")
+
+    @property
+    def q(self) -> int:
+        """Return ``q = |X| / 3``, the number of triples in an exact cover."""
+        return len(self.elements) // 3
+
+    def has_exact_cover(self) -> bool:
+        """Brute-force decision (exponential; for validating the reduction)."""
+        return self.find_exact_cover() is not None
+
+    def find_exact_cover(self) -> Optional[List[FrozenSet]]:
+        """Return an exact cover as a list of triples, or ``None``.
+
+        Backtracking over the first uncovered element keeps the search fast
+        on the instance sizes used in the benchmarks.
+        """
+        elements = list(self.elements)
+        triples = list(self.triples)
+
+        def _search(covered: Set, chosen: List[FrozenSet]) -> Optional[List[FrozenSet]]:
+            if len(covered) == len(elements):
+                return list(chosen)
+            target = next(e for e in elements if e not in covered)
+            for triple in triples:
+                if target not in triple or triple & covered:
+                    continue
+                chosen.append(triple)
+                result = _search(covered | triple, chosen)
+                if result is not None:
+                    return result
+                chosen.pop()
+            return None
+
+        return _search(set(), [])
+
+
+def random_x3c_instance(
+    q: int,
+    extra_triples: int = 0,
+    satisfiable: bool = True,
+    rng: RandomLike = None,
+) -> X3CInstance:
+    """Generate a random X3C instance with ``3q`` elements.
+
+    Parameters
+    ----------
+    q:
+        Number of triples in a planted exact cover (when ``satisfiable``).
+    extra_triples:
+        Number of additional random triples (noise).
+    satisfiable:
+        When ``True`` a partition of ``X`` into triples is planted so the
+        instance is a yes-instance; when ``False`` one planted triple is
+        removed and its elements only appear in "crossing" triples, which
+        makes small instances overwhelmingly likely to be no-instances (the
+        caller should verify with :meth:`X3CInstance.has_exact_cover` when
+        certainty is needed).
+    """
+    generator = ensure_rng(rng)
+    elements = [f"x{i}" for i in range(3 * q)]
+    shuffled = list(elements)
+    generator.shuffle(shuffled)
+    planted = [frozenset(shuffled[3 * i: 3 * i + 3]) for i in range(q)]
+    triples: List[FrozenSet] = list(planted)
+    if not satisfiable and triples:
+        removed = triples.pop(generator.randrange(len(triples)))
+        others = [e for e in elements if e not in removed]
+        for element in removed:
+            partner = generator.sample(others, 2)
+            triples.append(frozenset([element] + partner))
+    for _ in range(extra_triples):
+        triples.append(frozenset(generator.sample(elements, 3)))
+    unique = sorted({t for t in triples}, key=lambda t: sorted(t))
+    return X3CInstance(elements, unique)
+
+
+# ----------------------------------------------------------------------
+# Theorem 2: X3C -> Steiner on V2-chordal V2-conformal bipartite graphs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SteinerReduction:
+    """The output of the Theorem 2 reduction.
+
+    Attributes
+    ----------
+    graph:
+        The bipartite graph of Fig. 6 (triple vertices on ``V_1``; element
+        vertices plus the universal vertex on ``V_2``).
+    terminals:
+        The terminal set ``P = V_2``.
+    budget:
+        The Steiner budget ``4q + 1``: the X3C instance is a yes-instance
+        iff a tree over the terminals with at most this many vertices exists.
+    side_budget:
+        The pseudo-Steiner budget ``q`` for Corollary 3 (number of ``V_1``
+        vertices).
+    instance:
+        The originating :class:`X3CInstance`.
+    """
+
+    graph: BipartiteGraph
+    terminals: FrozenSet[Vertex]
+    budget: int
+    side_budget: int
+    instance: X3CInstance
+
+
+UNIVERSAL_VERTEX = ("u2",)
+
+
+def x3c_to_steiner(instance: X3CInstance) -> SteinerReduction:
+    """Build the Theorem 2 / Fig. 6 bipartite graph from an X3C instance."""
+    triple_vertices = [("c", i) for i in range(len(instance.triples))]
+    element_vertices = [("x", element) for element in instance.elements]
+    graph = BipartiteGraph(
+        left=triple_vertices,
+        right=element_vertices + [UNIVERSAL_VERTEX],
+    )
+    for index, triple in enumerate(instance.triples):
+        graph.add_edge(UNIVERSAL_VERTEX, ("c", index))
+        for element in triple:
+            graph.add_edge(("x", element), ("c", index))
+    terminals = frozenset(element_vertices + [UNIVERSAL_VERTEX])
+    return SteinerReduction(
+        graph=graph,
+        terminals=terminals,
+        budget=4 * instance.q + 1,
+        side_budget=instance.q,
+        instance=instance,
+    )
+
+
+def exact_cover_from_tree(
+    reduction: SteinerReduction, tree_vertices: Iterable[Vertex]
+) -> List[FrozenSet]:
+    """Extract the chosen triples from a Steiner tree's vertex set."""
+    chosen = []
+    for vertex in tree_vertices:
+        if isinstance(vertex, tuple) and len(vertex) == 2 and vertex[0] == "c":
+            chosen.append(reduction.instance.triples[vertex[1]])
+    return chosen
+
+
+def steiner_decision_answers_x3c(
+    reduction: SteinerReduction, steiner_vertex_count: int
+) -> bool:
+    """Interpret a Steiner optimum as the answer to the original X3C question."""
+    return steiner_vertex_count <= reduction.budget
+
+
+# ----------------------------------------------------------------------
+# Section 3 remark: chordal Steiner -> pseudo-Steiner on V1-chordal graphs
+# ----------------------------------------------------------------------
+def chordal_steiner_to_pseudo_steiner(
+    graph: Graph, terminals: Iterable[Vertex]
+) -> Tuple[BipartiteGraph, FrozenSet[Vertex]]:
+    """Subdivision reduction (Fig. 9): vertices on ``V_1``, one ``V_2`` vertex per edge.
+
+    Given any graph ``G`` (in the paper, a chordal one, so that the source
+    problem is the NP-hard cardinality Steiner problem on chordal graphs),
+    build the bipartite graph ``G''`` whose ``V_1`` is ``V`` and whose
+    ``V_2`` has a vertex per edge of ``G``, adjacent to that edge's two
+    endpoints.  A tree over the terminals using at most ``k`` vertices of
+    ``V_2`` exists iff ``G`` has a connected subgraph over the terminals
+    with at most ``k`` edges, so a polynomial pseudo-Steiner algorithm
+    w.r.t. ``V_2`` on this class would solve the chordal Steiner problem.
+    """
+    terminal_set = frozenset(terminals)
+    for terminal in terminal_set:
+        if terminal not in graph:
+            raise ValidationError(f"terminal {terminal!r} is not a vertex of the graph")
+    edge_vertices = []
+    bipartite = BipartiteGraph(left=graph.vertices(), right=[])
+    for index, (u, v) in enumerate(sorted(graph.edges(), key=lambda e: (repr(e[0]), repr(e[1])))):
+        edge_vertex = ("a", index)
+        bipartite.add_right(edge_vertex)
+        bipartite.add_edge(u, edge_vertex)
+        bipartite.add_edge(v, edge_vertex)
+        edge_vertices.append(edge_vertex)
+    return bipartite, terminal_set

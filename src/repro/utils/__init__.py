@@ -1,0 +1,15 @@
+"""Small internal utilities shared across the :mod:`repro` subpackages."""
+
+from repro.utils.ordering import (
+    argsort_by,
+    is_permutation_of,
+    stable_unique,
+)
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "argsort_by",
+    "ensure_rng",
+    "is_permutation_of",
+    "stable_unique",
+]

@@ -1,0 +1,79 @@
+"""Helpers for manipulating vertex orderings.
+
+Elimination orderings are central to the paper: the running-intersection
+ordering behind Algorithm 1 (Lemma 1), the perfect elimination orderings
+behind chordality testing, and the "good orderings" of Definition 11 are all
+plain sequences of vertices.  The helpers here keep that bookkeeping in one
+place.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def stable_unique(items: Iterable[T]) -> List[T]:
+    """Return ``items`` with duplicates removed, keeping first occurrences.
+
+    >>> stable_unique([3, 1, 3, 2, 1])
+    [3, 1, 2]
+    """
+    seen = set()
+    result: List[T] = []
+    for item in items:
+        if item not in seen:
+            seen.add(item)
+            result.append(item)
+    return result
+
+
+def argsort_by(items: Sequence[T], key: Callable[[T], object]) -> List[int]:
+    """Return indices that sort ``items`` by ``key`` (stable).
+
+    >>> argsort_by(["bb", "a", "ccc"], key=len)
+    [1, 0, 2]
+    """
+    return sorted(range(len(items)), key=lambda index: key(items[index]))
+
+
+def is_permutation_of(ordering: Sequence[T], universe: Iterable[T]) -> bool:
+    """Check that ``ordering`` lists every element of ``universe`` exactly once.
+
+    >>> is_permutation_of([2, 0, 1], range(3))
+    True
+    >>> is_permutation_of([2, 2, 1], range(3))
+    False
+    """
+    ordering_list = list(ordering)
+    universe_set = set(universe)
+    if len(ordering_list) != len(universe_set):
+        return False
+    return set(ordering_list) == universe_set and len(set(ordering_list)) == len(
+        ordering_list
+    )
+
+
+def positions(ordering: Sequence[T]) -> dict:
+    """Return a mapping element -> index for a duplicate-free ordering.
+
+    >>> positions(["a", "c", "b"])["c"]
+    1
+    """
+    table = {}
+    for index, item in enumerate(ordering):
+        if item in table:
+            raise ValueError(f"ordering contains duplicate element {item!r}")
+        table[item] = index
+    return table
+
+
+def restrict_ordering(ordering: Sequence[T], allowed: Iterable[T]) -> List[T]:
+    """Return the subsequence of ``ordering`` whose elements are in ``allowed``.
+
+    >>> restrict_ordering(["a", "b", "c", "d"], {"d", "b"})
+    ['b', 'd']
+    """
+    allowed_set = set(allowed)
+    return [item for item in ordering if item in allowed_set]

@@ -1,0 +1,181 @@
+"""Tests for hypergraph acyclicity degrees (Definition 6 / Definition 7).
+
+Each degree has a definitional implementation (cycle search / Definition 7)
+and an efficient one; the two are cross-validated on random hypergraphs and
+checked on the classical textbook examples.
+"""
+
+import pytest
+
+from repro.datasets.generators import (
+    random_alpha_acyclic_schema,
+    random_berge_acyclic_schema,
+    random_beta_acyclic_schema,
+    random_gamma_acyclic_schema,
+    random_hypergraph,
+)
+from repro.hypergraphs import (
+    Hypergraph,
+    acyclicity_degree,
+    build_join_tree,
+    find_berge_cycle,
+    find_beta_cycle,
+    find_gamma_cycle,
+    gyo_reduction,
+    is_alpha_acyclic,
+    is_berge_acyclic,
+    is_berge_cycle,
+    is_beta_acyclic,
+    is_beta_cycle,
+    is_conformal,
+    is_conformal_cliques,
+    is_gamma_acyclic,
+    is_gamma_cycle,
+    is_join_tree,
+    is_nest_point,
+    mcs_edge_ordering,
+    nest_point_elimination_order,
+    running_intersection_ordering,
+    satisfies_degree,
+    satisfies_running_intersection,
+)
+
+# canonical examples --------------------------------------------------------
+TREE_SCHEMA = Hypergraph(edges=[("R", {"a", "b"}), ("S", {"b", "c"}), ("T", {"c", "d"})])
+TWO_SHARED = Hypergraph(edges=[("R", {"a", "b", "c"}), ("S", {"a", "b"})])
+TRIANGLE = Hypergraph(edges=[("R", {"a", "b"}), ("S", {"b", "c"}), ("T", {"a", "c"})])
+TRIANGLE_COVERED = Hypergraph(
+    edges=[("R", {"a", "b"}), ("S", {"b", "c"}), ("T", {"a", "c"}), ("U", {"a", "b", "c"})]
+)
+INTERVAL_GAMMA_BREAKER = Hypergraph(
+    edges=[("R", {1, 2, 3}), ("S", {2, 3, 4}), ("T", {3, 4, 5, 6})]
+)
+
+
+class TestCanonicalExamples:
+    def test_tree_schema_is_berge_acyclic(self):
+        assert acyclicity_degree(TREE_SCHEMA) == "berge"
+        assert satisfies_degree(TREE_SCHEMA, "alpha")
+
+    def test_two_edges_sharing_two_nodes(self):
+        # a Berge cycle of length 2, but gamma-acyclic
+        assert not is_berge_acyclic(TWO_SHARED)
+        assert is_gamma_acyclic(TWO_SHARED)
+        assert acyclicity_degree(TWO_SHARED) == "gamma"
+
+    def test_triangle_is_cyclic(self):
+        assert not is_alpha_acyclic(TRIANGLE)
+        assert acyclicity_degree(TRIANGLE) == "cyclic"
+
+    def test_covered_triangle_is_alpha_only(self):
+        assert is_alpha_acyclic(TRIANGLE_COVERED)
+        assert not is_beta_acyclic(TRIANGLE_COVERED)
+        assert acyclicity_degree(TRIANGLE_COVERED) == "alpha"
+
+    def test_interval_schema_beta_not_gamma(self):
+        assert is_beta_acyclic(INTERVAL_GAMMA_BREAKER)
+        assert not is_gamma_acyclic(INTERVAL_GAMMA_BREAKER)
+        assert acyclicity_degree(INTERVAL_GAMMA_BREAKER) == "beta"
+
+    def test_empty_hypergraph_is_everything(self):
+        empty = Hypergraph()
+        assert is_berge_acyclic(empty) and is_alpha_acyclic(empty)
+
+
+class TestCycleWitnesses:
+    def test_berge_cycle_witness_is_valid(self):
+        labels, nodes = find_berge_cycle(TWO_SHARED)
+        assert is_berge_cycle(TWO_SHARED, labels, nodes)
+
+    def test_beta_cycle_witness_is_valid(self):
+        labels, nodes = find_beta_cycle(TRIANGLE_COVERED)
+        assert is_beta_cycle(TRIANGLE_COVERED, labels, nodes)
+
+    def test_gamma_cycle_witness_is_valid(self):
+        labels, nodes = find_gamma_cycle(INTERVAL_GAMMA_BREAKER)
+        assert is_gamma_cycle(INTERVAL_GAMMA_BREAKER, labels, nodes)
+
+    def test_no_witness_on_acyclic(self):
+        assert find_berge_cycle(TREE_SCHEMA) is None
+        assert find_beta_cycle(TREE_SCHEMA) is None
+        assert find_gamma_cycle(TREE_SCHEMA) is None
+
+    def test_cycle_predicates_reject_malformed(self):
+        assert not is_berge_cycle(TREE_SCHEMA, ["R"], ["b"])
+        assert not is_beta_cycle(TRIANGLE, ["R", "S"], ["b", "c"])
+        assert not is_gamma_cycle(TREE_SCHEMA, ["R", "S", "T"], ["b", "c", "d"])
+
+
+class TestMethodCrossValidation:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_all_methods_agree_on_random_hypergraphs(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        h = random_hypergraph(rng.randint(2, 5), rng.randint(1, 5), rng=rng)
+        assert is_berge_acyclic(h) == is_berge_acyclic(h, method="search")
+        assert is_beta_acyclic(h) == is_beta_acyclic(h, method="search")
+        assert is_gamma_acyclic(h) == is_gamma_acyclic(h, method="search")
+        assert (
+            is_alpha_acyclic(h, method="gyo")
+            == is_alpha_acyclic(h, method="mcs")
+            == is_alpha_acyclic(h, method="definition")
+        )
+        assert is_conformal(h, method="gilmore") == is_conformal_cliques(h)
+
+    def test_invalid_method_names(self):
+        with pytest.raises(ValueError):
+            is_alpha_acyclic(TREE_SCHEMA, method="nope")
+        with pytest.raises(ValueError):
+            is_beta_acyclic(TREE_SCHEMA, method="nope")
+        with pytest.raises(ValueError):
+            is_gamma_acyclic(TREE_SCHEMA, method="nope")
+        with pytest.raises(ValueError):
+            is_berge_acyclic(TREE_SCHEMA, method="nope")
+        with pytest.raises(ValueError):
+            satisfies_degree(TREE_SCHEMA, "delta")
+
+
+class TestGeneratorsProduceTheirClass:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_generated_schemas_have_claimed_degree(self, seed):
+        assert random_berge_acyclic_schema(5, rng=seed).is_acyclic("berge")
+        assert random_beta_acyclic_schema(5, attributes=8, rng=seed).is_acyclic("beta")
+        assert random_gamma_acyclic_schema(3, rng=seed).is_acyclic("gamma")
+        assert random_alpha_acyclic_schema(6, rng=seed).is_acyclic("alpha")
+
+
+class TestGYOAndOrderings:
+    def test_gyo_trace_empties_acyclic_hypergraph(self):
+        reduced, trace = gyo_reduction(TREE_SCHEMA)
+        assert reduced.number_of_edges() == 0
+        assert trace  # some steps were recorded
+
+    def test_gyo_stops_on_cyclic_hypergraph(self):
+        reduced, _ = gyo_reduction(TRIANGLE)
+        assert reduced.number_of_edges() > 0
+
+    def test_mcs_ordering_and_rip(self):
+        ordering = mcs_edge_ordering(TREE_SCHEMA)
+        assert set(ordering) == set(TREE_SCHEMA.edge_labels())
+        assert satisfies_running_intersection(TREE_SCHEMA, ordering)
+        assert running_intersection_ordering(TRIANGLE) is None
+
+    def test_nest_points(self):
+        assert is_nest_point(TWO_SHARED, "c")
+        order = nest_point_elimination_order(TREE_SCHEMA)
+        assert order is not None and set(order) == TREE_SCHEMA.nodes()
+        assert nest_point_elimination_order(TRIANGLE_COVERED) is None
+
+    def test_join_tree(self):
+        tree = build_join_tree(TREE_SCHEMA)
+        assert tree is not None
+        assert is_join_tree(TREE_SCHEMA, tree)
+        assert build_join_tree(TRIANGLE) is None
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_join_tree_on_random_alpha_schema(self, seed):
+        schema = random_alpha_acyclic_schema(7, rng=seed)
+        hypergraph = schema.hypergraph()
+        tree = build_join_tree(hypergraph)
+        assert tree is not None and is_join_tree(hypergraph, tree)

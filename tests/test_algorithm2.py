@@ -1,0 +1,107 @@
+"""Algorithm 2 (Lemmas 4-5, Theorem 5, Corollary 5) on (6,2)-chordal graphs."""
+
+import random
+
+import pytest
+
+from repro.datasets.figures import figure3b_graph, figure10_graph
+from repro.datasets.generators import (
+    random_62_chordal_graph,
+    random_gamma_schema_graph,
+    random_terminals,
+)
+from repro.exceptions import NotApplicableError
+from repro.graphs import (
+    even_cycle_bipartite,
+    is_minimum_path,
+    is_nonredundant_path,
+    nonredundant_paths,
+)
+from repro.steiner import (
+    nonredundant_cover_tree,
+    steiner_algorithm2,
+    steiner_tree_bruteforce,
+)
+
+
+class TestLemma4:
+    """(6,2)-chordal iff every nonredundant path is minimum."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_nonredundant_paths_are_minimum_on_62_graphs(self, seed):
+        rng = random.Random(seed)
+        graph = random_62_chordal_graph(3, max_left=2, max_right=2, rng=rng)
+        vertices = graph.sorted_vertices()
+        for source in vertices[:4]:
+            for target in vertices[-4:]:
+                if source == target:
+                    continue
+                for path in nonredundant_paths(graph, source, target, limit=10):
+                    assert is_minimum_path(graph, path)
+
+    def test_violation_on_the_one_chord_cycle(self):
+        graph = figure10_graph()
+        # the two vertices opposite the chord have a long nonredundant path
+        found_violation = False
+        for source in graph.sorted_vertices():
+            for target in graph.sorted_vertices():
+                if repr(source) >= repr(target):
+                    continue
+                for path in nonredundant_paths(graph, source, target):
+                    if not is_minimum_path(graph, path):
+                        found_violation = True
+        assert found_violation
+
+
+class TestAlgorithm2Correctness:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_exact_on_62_chordal_graphs(self, seed):
+        rng = random.Random(seed)
+        graph = random_62_chordal_graph(4, rng=rng)
+        terminals = random_terminals(graph, min(4, graph.number_of_vertices()), rng=rng)
+        fast = steiner_algorithm2(graph, terminals)
+        exact = steiner_tree_bruteforce(graph, terminals)
+        assert fast.vertex_count() == exact.vertex_count()
+        fast.validate()
+        assert fast.optimal
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_exact_on_gamma_schema_graphs(self, seed):
+        rng = random.Random(seed)
+        graph = random_gamma_schema_graph(3, rng=rng)
+        terminals = random_terminals(graph, 3, rng=rng)
+        fast = steiner_algorithm2(graph, terminals)
+        exact = steiner_tree_bruteforce(graph, terminals)
+        assert fast.vertex_count() == exact.vertex_count()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_corollary5_every_ordering_gives_the_optimum(self, seed):
+        rng = random.Random(seed)
+        graph = random_62_chordal_graph(3, rng=rng)
+        terminals = random_terminals(graph, 3, rng=rng)
+        exact = steiner_tree_bruteforce(graph, terminals).vertex_count()
+        vertices = graph.sorted_vertices()
+        for _ in range(5):
+            order = list(vertices)
+            rng.shuffle(order)
+            solution = steiner_algorithm2(graph, terminals, ordering=order)
+            assert solution.vertex_count() == exact
+
+    def test_figure3b_instance(self):
+        graph = figure3b_graph()
+        solution = steiner_algorithm2(graph, ["A", "D", "F"])
+        exact = steiner_tree_bruteforce(graph, ["A", "D", "F"])
+        assert solution.vertex_count() == exact.vertex_count()
+
+
+class TestAlgorithm2OutsideItsClass:
+    def test_raises_outside_class_when_checking(self):
+        cycle = even_cycle_bipartite(8)
+        with pytest.raises(NotApplicableError):
+            steiner_algorithm2(cycle, [0, 4], check=True)
+
+    def test_heuristic_mode_returns_valid_tree(self):
+        cycle = even_cycle_bipartite(8)
+        solution = nonredundant_cover_tree(cycle, [0, 4])
+        solution.validate()
+        assert not solution.optimal

@@ -1,0 +1,104 @@
+"""Unit tests for BipartiteGraph and 2-colouring."""
+
+import pytest
+
+from repro.exceptions import BipartitenessError, GraphError
+from repro.graphs import BipartiteGraph, Graph, is_bipartite, two_coloring
+
+
+class TestSides:
+    def test_parts(self):
+        graph = BipartiteGraph(left=["A"], right=[1], edges=[("A", 1)])
+        assert graph.left() == {"A"}
+        assert graph.right() == {1}
+        assert graph.parts() == ({"A"}, {1})
+
+    def test_side_of(self):
+        graph = BipartiteGraph(left=["A"], right=[1])
+        assert graph.side_of("A") == 1
+        assert graph.side_of(1) == 2
+        with pytest.raises(GraphError):
+            graph.side_of("missing")
+
+    def test_side_accessor(self):
+        graph = BipartiteGraph(left=["A"], right=[1])
+        assert graph.side(1) == {"A"}
+        assert graph.side(2) == {1}
+        with pytest.raises(ValueError):
+            graph.side(3)
+
+    def test_same_side_edge_rejected(self):
+        graph = BipartiteGraph(left=["A", "B"], right=[1])
+        with pytest.raises(BipartitenessError):
+            graph.add_edge("A", "B")
+
+    def test_vertex_cannot_switch_sides(self):
+        graph = BipartiteGraph(left=["A"])
+        with pytest.raises(BipartitenessError):
+            graph.add_right("A")
+
+    def test_edge_infers_missing_side(self):
+        graph = BipartiteGraph(left=["A"])
+        graph.add_edge("A", "new")
+        assert graph.side_of("new") == 2
+
+    def test_edge_with_two_unknown_endpoints_rejected(self):
+        graph = BipartiteGraph()
+        with pytest.raises(BipartitenessError):
+            graph.add_edge("x", "y")
+
+    def test_remove_vertex_clears_side(self):
+        graph = BipartiteGraph(left=["A"], right=[1], edges=[("A", 1)])
+        graph.remove_vertex("A")
+        assert graph.left() == set()
+
+    def test_swap_sides(self):
+        graph = BipartiteGraph(left=["A"], right=[1], edges=[("A", 1)])
+        swapped = graph.swap_sides()
+        assert swapped.side_of("A") == 2
+        assert swapped.side_of(1) == 1
+        assert swapped.has_edge("A", 1)
+
+    def test_subgraph_preserves_sides(self):
+        graph = BipartiteGraph(left=["A", "B"], right=[1], edges=[("A", 1), ("B", 1)])
+        sub = graph.subgraph({"A", 1})
+        assert isinstance(sub, BipartiteGraph)
+        assert sub.side_of("A") == 1 and sub.side_of(1) == 2
+        assert sub.has_edge("A", 1)
+
+    def test_copy(self):
+        graph = BipartiteGraph(left=["A"], right=[1], edges=[("A", 1)])
+        clone = graph.copy()
+        clone.add_edge("A", 2)
+        assert not graph.has_vertex(2)
+
+
+class TestTwoColoring:
+    def test_even_cycle_is_bipartite(self):
+        cycle = Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 0)])
+        left, right = two_coloring(cycle)
+        assert {len(left), len(right)} == {2}
+        assert is_bipartite(cycle)
+
+    def test_odd_cycle_is_not_bipartite(self, triangle):
+        assert not is_bipartite(triangle)
+        with pytest.raises(BipartitenessError):
+            two_coloring(triangle)
+
+    def test_from_graph_with_explicit_left(self):
+        plain = Graph(edges=[("A", 1), ("B", 1)])
+        graph = BipartiteGraph.from_graph(plain, left={"A", "B"})
+        assert graph.left() == {"A", "B"}
+
+    def test_from_graph_autodetect(self):
+        plain = Graph(edges=[("A", 1), (1, "B"), ("B", 2)])
+        graph = BipartiteGraph.from_graph(plain)
+        assert graph.side_of("A") == graph.side_of("B")
+        assert graph.side_of(1) == graph.side_of(2)
+        assert graph.side_of("A") != graph.side_of(1)
+
+    def test_as_graph_forgets_sides(self):
+        graph = BipartiteGraph(left=["A"], right=[1], edges=[("A", 1)])
+        plain = graph.as_graph()
+        assert isinstance(plain, Graph) and not isinstance(plain, BipartiteGraph)
+        assert plain.has_edge("A", 1)

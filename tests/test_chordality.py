@@ -1,0 +1,192 @@
+"""Tests for chordal graph recognition and bipartite chordality classes."""
+
+import networkx as nx
+import pytest
+
+from repro.chordality import (
+    distance_two_graph,
+    elimination_fill_in,
+    greedy_simplicial_elimination,
+    is_41_chordal_bipartite,
+    is_61_chordal_bipartite,
+    is_62_chordal_bipartite,
+    is_chordal,
+    is_chordal_bipartite,
+    is_mn_chordal,
+    is_perfect_elimination_ordering,
+    is_side_chordal,
+    is_side_chordal_and_conformal,
+    is_side_conformal,
+    is_simplicial,
+    lexicographic_bfs,
+    maximum_cardinality_search,
+    perfect_elimination_ordering,
+)
+from repro.exceptions import BipartitenessError
+from repro.graphs import (
+    BipartiteGraph,
+    Graph,
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    even_cycle_bipartite,
+    path_graph,
+    random_bipartite,
+    random_graph,
+)
+
+
+class TestChordalRecognition:
+    def test_small_examples(self, triangle, square, path4):
+        assert is_chordal(triangle)
+        assert is_chordal(path4)
+        assert not is_chordal(square)
+        assert is_chordal(Graph())
+
+    @pytest.mark.parametrize("method", ["mcs", "lexbfs", "greedy", "cycles"])
+    def test_methods_on_cycles(self, method):
+        assert not is_chordal(cycle_graph(5), method=method)
+        assert is_chordal(complete_graph(5), method=method)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_networkx_on_random_graphs(self, seed):
+        graph = random_graph(9, 0.35, rng=seed)
+        reference = nx.Graph(list(graph.edges()))
+        reference.add_nodes_from(graph.vertices())
+        expected = nx.is_chordal(reference)
+        assert is_chordal(graph, method="mcs") == expected
+        assert is_chordal(graph, method="lexbfs") == expected
+        assert is_chordal(graph, method="greedy") == expected
+
+    def test_invalid_method(self, triangle):
+        with pytest.raises(ValueError):
+            is_chordal(triangle, method="nope")
+
+    def test_perfect_elimination_ordering(self, triangle, square):
+        peo = perfect_elimination_ordering(triangle)
+        assert peo is not None and is_perfect_elimination_ordering(triangle, peo)
+        assert perfect_elimination_ordering(square) is None
+
+    def test_simplicial_and_fill_in(self, square):
+        assert not any(is_simplicial(square, v) for v in square.vertices())
+        fill = elimination_fill_in(square, ["a", "b", "c", "d"])
+        assert len(fill) == 1
+        assert greedy_simplicial_elimination(square) is None
+
+    def test_mcs_and_lexbfs_visit_everything(self):
+        graph = random_graph(8, 0.3, rng=1)
+        assert set(maximum_cardinality_search(graph)) == graph.vertices()
+        assert set(lexicographic_bfs(graph)) == graph.vertices()
+
+
+class TestMNChordality:
+    def test_arguments_validated(self, square):
+        with pytest.raises(ValueError):
+            is_mn_chordal(square, 3, 1)
+        with pytest.raises(ValueError):
+            is_mn_chordal(square, 4, 0)
+
+    def test_41_on_bipartite_means_forest(self, six_cycle_bipartite):
+        assert not is_41_chordal_bipartite(six_cycle_bipartite)
+        tree = BipartiteGraph(left=["A", "B"], right=[1], edges=[("A", 1), ("B", 1)])
+        assert is_41_chordal_bipartite(tree)
+
+    def test_61_and_62_on_six_cycle(self, six_cycle_bipartite):
+        # the chordless 6-cycle is in neither class
+        assert not is_61_chordal_bipartite(six_cycle_bipartite)
+        assert not is_62_chordal_bipartite(six_cycle_bipartite)
+        # one chord gives (6,1) but not (6,2)
+        one_chord = six_cycle_bipartite.copy()
+        one_chord.add_edge("A", 2)
+        assert is_61_chordal_bipartite(one_chord)
+        assert not is_62_chordal_bipartite(one_chord)
+        # two chords give (6,2)
+        two_chords = one_chord.copy()
+        two_chords.add_edge("B", 3)
+        assert is_62_chordal_bipartite(two_chords)
+
+    def test_complete_bipartite_is_62_chordal(self):
+        assert is_62_chordal_bipartite(complete_bipartite(3, 3))
+        assert is_61_chordal_bipartite(complete_bipartite(3, 4))
+
+    def test_long_even_cycles_are_not_chordal_bipartite(self):
+        assert not is_61_chordal_bipartite(even_cycle_bipartite(8))
+        assert not is_62_chordal_bipartite(even_cycle_bipartite(10))
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_efficient_matches_definitional(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        graph = random_bipartite(rng.randint(2, 4), rng.randint(2, 4), 0.5, rng=rng)
+        assert is_61_chordal_bipartite(graph) == is_61_chordal_bipartite(
+            graph, method="cycles"
+        )
+        assert is_62_chordal_bipartite(graph) == is_62_chordal_bipartite(
+            graph, method="cycles"
+        )
+
+    def test_requires_bipartite(self, triangle):
+        with pytest.raises(BipartitenessError):
+            is_61_chordal_bipartite(triangle)
+
+    def test_alias(self, six_cycle_bipartite):
+        assert is_chordal_bipartite(six_cycle_bipartite) == is_61_chordal_bipartite(
+            six_cycle_bipartite
+        )
+
+    def test_plain_graph_accepted_if_bipartite(self):
+        plain = Graph(edges=[("A", 1), ("B", 1)])
+        assert is_61_chordal_bipartite(plain)
+
+
+class TestSideChordality:
+    def test_distance_two_graph(self):
+        graph = BipartiteGraph(left=["a", "b", "c"], right=["R", "S"])
+        graph.add_edge("a", "R")
+        graph.add_edge("b", "R")
+        graph.add_edge("b", "S")
+        graph.add_edge("c", "S")
+        squared = distance_two_graph(graph, side=2)
+        assert squared.has_edge("a", "b") and squared.has_edge("b", "c")
+        assert not squared.has_edge("a", "c")
+
+    def test_eight_cycle_is_not_side_chordal(self):
+        cycle = even_cycle_bipartite(8)
+        assert not is_side_chordal(cycle, 1)
+        assert not is_side_chordal(cycle, 2)
+
+    def test_six_cycle_is_side_chordal_but_not_conformal(self, six_cycle_bipartite):
+        # cycles of length < 8 impose no chordality constraint ...
+        assert is_side_chordal(six_cycle_bipartite, 1)
+        assert is_side_chordal(six_cycle_bipartite, 2)
+        # ... but the three pairwise-distance-2 vertices have no common neighbour
+        assert not is_side_conformal(six_cycle_bipartite, 1)
+        assert not is_side_conformal(six_cycle_bipartite, 2)
+
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("side", [1, 2])
+    def test_definitional_matches_efficient(self, seed, side):
+        import random
+
+        rng = random.Random(seed)
+        graph = random_bipartite(rng.randint(2, 4), rng.randint(2, 4), 0.5, rng=rng)
+        assert is_side_chordal(graph, side, method="primal") == is_side_chordal(
+            graph, side, method="cycles"
+        )
+        assert is_side_conformal(graph, side, method="hypergraph") == is_side_conformal(
+            graph, side, method="cliques"
+        )
+        assert is_side_chordal_and_conformal(graph, side, method="alpha") == (
+            is_side_chordal(graph, side) and is_side_conformal(graph, side)
+        )
+
+    def test_requires_bipartite_graph_object(self, triangle):
+        with pytest.raises(BipartitenessError):
+            is_side_chordal(triangle, 1)
+
+    def test_side_validation(self, six_cycle_bipartite):
+        with pytest.raises(ValueError):
+            is_side_chordal(six_cycle_bipartite, 3)
+        with pytest.raises(ValueError):
+            is_side_conformal(six_cycle_bipartite, 0)

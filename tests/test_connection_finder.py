@@ -1,0 +1,93 @@
+"""MinimalConnectionFinder: classification-driven dispatch of the solvers."""
+
+import pytest
+
+from repro.core import MinimalConnectionFinder, chordality_class, classify_bipartite_graph
+from repro.core.classification import schema_acyclicity_degree
+from repro.datasets.generators import (
+    random_62_chordal_graph,
+    random_alpha_schema_graph,
+    random_terminals,
+)
+from repro.exceptions import ValidationError
+from repro.graphs import BipartiteGraph, Graph, complete_bipartite, even_cycle_bipartite
+from repro.steiner import steiner_tree_bruteforce
+
+
+class TestClassification:
+    def test_forest_class(self):
+        tree = BipartiteGraph(left=["A", "B"], right=[1], edges=[("A", 1), ("B", 1)])
+        report = classify_bipartite_graph(tree)
+        assert report.chordal_41 and report.strongest_class == "(4,1)-chordal"
+        assert report.steiner_tractable()
+        assert report.pseudo_steiner_tractable(1) and report.pseudo_steiner_tractable(2)
+
+    def test_complete_bipartite_class(self):
+        report = classify_bipartite_graph(complete_bipartite(3, 3))
+        assert report.strongest_class == "(6,2)-chordal"
+
+    def test_long_cycle_class(self):
+        report = classify_bipartite_graph(even_cycle_bipartite(10))
+        assert report.strongest_class == "general"
+        assert not report.steiner_tractable()
+
+    def test_plain_graph_accepted(self):
+        assert chordality_class(Graph(edges=[("A", 1), ("B", 1)])) == "(4,1)-chordal"
+
+    def test_side_validation(self):
+        report = classify_bipartite_graph(complete_bipartite(2, 2))
+        with pytest.raises(ValueError):
+            report.pseudo_steiner_tractable(3)
+
+    def test_schema_acyclicity_degree(self):
+        graph = random_alpha_schema_graph(4, rng=1)
+        assert schema_acyclicity_degree(graph, side=2) in {"berge", "gamma", "beta", "alpha"}
+
+
+class TestFinderDispatch:
+    def test_requires_bipartite_graph(self):
+        with pytest.raises(ValidationError):
+            MinimalConnectionFinder(Graph(edges=[("a", "b")]))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_minimal_connection_is_optimal_on_tractable_classes(self, seed):
+        graph = random_62_chordal_graph(4, rng=seed)
+        finder = MinimalConnectionFinder(graph)
+        terminals = random_terminals(graph, 3, rng=seed)
+        solution = finder.minimal_connection(terminals)
+        exact = steiner_tree_bruteforce(graph, terminals)
+        assert solution.vertex_count() == exact.vertex_count()
+        solution.validate()
+
+    def test_exact_fallback_on_hard_instances(self):
+        cycle = even_cycle_bipartite(10)
+        finder = MinimalConnectionFinder(cycle)
+        solution = finder.minimal_connection([0, 5])
+        assert solution.vertex_count() == 6
+        solution.validate()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_minimal_side_connection_uses_algorithm1(self, seed):
+        graph = random_alpha_schema_graph(5, rng=seed)
+        finder = MinimalConnectionFinder(graph)
+        terminals = random_terminals(graph, 3, rng=seed)
+        solution = finder.minimal_side_connection(terminals, side=2)
+        assert solution.method == "algorithm1"
+        assert solution.optimal
+
+    def test_ranked_connections_are_sorted_and_distinct(self):
+        graph = random_alpha_schema_graph(4, rng=9)
+        finder = MinimalConnectionFinder(graph)
+        terminals = random_terminals(graph, 2, rng=9)
+        ranked = finder.ranked_connections(terminals, limit=4)
+        sizes = [solution.vertex_count() for solution in ranked]
+        assert sizes == sorted(sizes)
+        vertex_sets = {frozenset(solution.tree.vertices()) for solution in ranked}
+        assert len(vertex_sets) == len(ranked)
+        assert ranked[0].optimal
+
+    def test_report_is_cached(self):
+        graph = complete_bipartite(2, 2)
+        finder = MinimalConnectionFinder(graph)
+        assert finder.report is finder.report
+        assert finder.graph is graph

@@ -1,0 +1,130 @@
+"""Tests for cycle enumeration, chords, spanning trees and cliques."""
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import (
+    Graph,
+    chordless_cycles,
+    complete_graph,
+    cycle_chords,
+    cycle_distance,
+    cycle_graph,
+    find_cycle_with_few_chords,
+    girth,
+    grid_graph,
+    has_cycle,
+    is_cycle,
+    is_forest,
+    is_tree,
+    is_tree_over,
+    maximal_cliques,
+    maximum_clique_size,
+    path_graph,
+    random_graph,
+    simple_cycles,
+    spanning_forest,
+    spanning_tree,
+    star_graph,
+)
+
+
+class TestCycles:
+    def test_is_cycle(self):
+        square = cycle_graph(4)
+        assert is_cycle(square, [0, 1, 2, 3])
+        assert not is_cycle(square, [0, 1, 2])
+        assert not is_cycle(square, [0, 1])
+
+    def test_simple_cycles_count_matches_networkx(self):
+        for seed in range(5):
+            graph = random_graph(7, 0.35, rng=seed)
+            ours = sum(1 for _ in simple_cycles(graph))
+            reference = nx.Graph(list(graph.edges()))
+            reference.add_nodes_from(graph.vertices())
+            theirs = sum(1 for _ in nx.simple_cycles(reference))
+            assert ours == theirs
+
+    def test_cycle_chords(self):
+        square = cycle_graph(4)
+        assert cycle_chords(square, [0, 1, 2, 3]) == []
+        square.add_edge(0, 2)
+        assert cycle_chords(square, [0, 1, 2, 3]) == [(0, 2)]
+
+    def test_cycle_chords_requires_cycle(self):
+        with pytest.raises(GraphError):
+            cycle_chords(path_graph(3), [0, 1, 2])
+
+    def test_cycle_distance(self):
+        cycle = [0, 1, 2, 3, 4, 5]
+        assert cycle_distance(cycle, 0, 3) == 3
+        assert cycle_distance(cycle, 0, 5) == 1
+
+    def test_chordless_cycles(self):
+        graph = cycle_graph(6)
+        holes = list(chordless_cycles(graph, min_length=4))
+        assert len(holes) == 1 and len(holes[0]) == 6
+        graph.add_edge(0, 3)
+        assert list(chordless_cycles(graph, min_length=5)) == []
+
+    def test_find_cycle_with_few_chords(self):
+        graph = cycle_graph(6)
+        assert find_cycle_with_few_chords(graph, 6, 0) is not None
+        graph.add_edge(0, 3)
+        assert find_cycle_with_few_chords(graph, 6, 0) is None
+        assert find_cycle_with_few_chords(graph, 6, 1) is not None
+
+    def test_has_cycle_and_is_forest(self):
+        assert not has_cycle(path_graph(4))
+        assert is_forest(path_graph(4))
+        assert has_cycle(cycle_graph(5))
+        assert not is_forest(cycle_graph(5))
+
+    def test_girth(self):
+        assert girth(path_graph(4)) is None
+        assert girth(cycle_graph(7)) == 7
+        assert girth(complete_graph(4)) == 3
+
+
+class TestSpanning:
+    def test_spanning_tree_of_connected_graph(self):
+        graph = grid_graph(3, 3)
+        tree = spanning_tree(graph)
+        assert is_tree(tree)
+        assert tree.vertices() == graph.vertices()
+
+    def test_spanning_tree_requires_connected(self):
+        graph = Graph(edges=[("a", "b"), ("c", "d")])
+        with pytest.raises(GraphError):
+            spanning_tree(graph)
+
+    def test_spanning_forest(self):
+        graph = Graph(edges=[("a", "b"), ("c", "d")])
+        forest = spanning_forest(graph)
+        assert is_forest(forest)
+        assert forest.number_of_edges() == 2
+
+    def test_is_tree_over(self):
+        graph = cycle_graph(4)
+        tree = Graph(edges=[(0, 1), (1, 2)])
+        assert is_tree_over(graph, tree, [0, 2])
+        assert not is_tree_over(graph, tree, [0, 3])
+        bad = Graph(edges=[(0, 2)])  # not an edge of the cycle
+        assert not is_tree_over(graph, bad, [0, 2])
+
+
+class TestCliques:
+    def test_maximal_cliques_match_networkx(self):
+        for seed in range(5):
+            graph = random_graph(8, 0.4, rng=seed)
+            ours = {frozenset(c) for c in maximal_cliques(graph)}
+            reference = nx.Graph(list(graph.edges()))
+            reference.add_nodes_from(graph.vertices())
+            theirs = {frozenset(c) for c in nx.find_cliques(reference)}
+            assert ours == theirs
+
+    def test_maximum_clique_size(self):
+        assert maximum_clique_size(complete_graph(5)) == 5
+        assert maximum_clique_size(star_graph(4)) == 2
+        assert maximum_clique_size(Graph()) == 0

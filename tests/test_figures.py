@@ -1,0 +1,146 @@
+"""Every figure instance has exactly the properties the paper ascribes to it."""
+
+import pytest
+
+from repro.chordality import (
+    is_41_chordal_bipartite,
+    is_61_chordal_bipartite,
+    is_62_chordal_bipartite,
+    is_side_chordal,
+    is_side_chordal_and_conformal,
+    is_side_conformal,
+)
+from repro.core import classify_bipartite_graph, is_minimum_cover, is_nonredundant_cover
+from repro.datasets import figures
+from repro.hypergraphs import (
+    acyclicity_degree,
+    is_alpha_acyclic,
+    is_berge_acyclic,
+    is_beta_acyclic,
+    is_gamma_acyclic,
+)
+
+
+class TestFigure1:
+    def test_er_schema_objects(self):
+        er = figures.figure1_er_schema()
+        assert "EMPLOYEE" in er.entity_names()
+        assert "WORKS" in er.relationship_names()
+        assert "DATE" in er.attribute_names()
+        assert er.relationship_members("WORKS") == frozenset({"EMPLOYEE", "DEPARTMENT"})
+
+    def test_relational_translation_is_acyclic(self):
+        schema = figures.figure1_relational_schema()
+        assert schema.is_acyclic("alpha")
+
+    def test_minimal_interpretation_is_the_birthdate_reading(self):
+        from repro.semantic import QueryInterpreter
+
+        interpreter = QueryInterpreter(figures.figure1_relational_schema())
+        best = interpreter.minimal_interpretation(figures.figure1_query())
+        # EMPLOYEE and DATE are directly connected: no auxiliary object at all
+        assert best.auxiliary_objects == set()
+        # an alternative reading through WORKS needs auxiliary objects
+        alternatives = interpreter.interpretations(figures.figure1_query(), limit=4)
+        assert any("WORKS" in interp.objects for interp in alternatives) or len(alternatives) > 1
+
+
+class TestFigure2:
+    def test_alpha_on_exactly_one_side(self):
+        graph = figures.figure2_graph()
+        assert is_side_chordal_and_conformal(graph, 2, method="alpha")
+        assert not is_side_chordal_and_conformal(graph, 1, method="alpha")
+
+    def test_hypergraph_degrees(self):
+        h1, h2 = figures.figure2_hypergraphs()
+        assert is_alpha_acyclic(h2)
+        assert not is_alpha_acyclic(h1)
+
+
+class TestFigure3And4:
+    def test_fig3a_is_41_chordal(self):
+        graph = figures.figure3a_graph()
+        assert is_41_chordal_bipartite(graph)
+        assert acyclicity_degree(figures.figure4a_hypergraph()) == "berge"
+
+    def test_fig3b_is_62_chordal(self):
+        graph = figures.figure3b_graph()
+        assert is_62_chordal_bipartite(graph)
+        assert not is_41_chordal_bipartite(graph)
+        assert is_gamma_acyclic(figures.figure4b_hypergraph())
+        assert not is_berge_acyclic(figures.figure4b_hypergraph())
+
+    def test_fig3c_is_61_but_not_62_chordal(self):
+        graph = figures.figure3c_graph()
+        assert is_61_chordal_bipartite(graph)
+        assert not is_62_chordal_bipartite(graph)
+        assert is_beta_acyclic(figures.figure4c_hypergraph())
+        assert not is_gamma_acyclic(figures.figure4c_hypergraph())
+
+    def test_classification_report(self):
+        report = classify_bipartite_graph(figures.figure3b_graph())
+        assert report.strongest_class == "(6,2)-chordal"
+        assert report.steiner_tractable()
+
+
+class TestFigure5:
+    def test_alpha_on_both_sides_but_not_61(self):
+        graph = figures.figure5_graph()
+        for side in (1, 2):
+            assert is_side_chordal(graph, side)
+            assert is_side_conformal(graph, side)
+        assert not is_61_chordal_bipartite(graph)
+
+
+class TestFigure6:
+    def test_reduction_budget_matches_satisfiability(self):
+        from repro.steiner import steiner_tree_bruteforce
+
+        reduction = figures.figure6_reduction()
+        solution = steiner_tree_bruteforce(reduction.graph, reduction.terminals)
+        assert solution.vertex_count() <= reduction.budget
+        assert reduction.instance.has_exact_cover()
+
+
+class TestFigure8:
+    def test_named_covers(self):
+        graph, terminals, covers = figures.figure8_example()
+        assert is_minimum_cover(graph, covers["minimum"], terminals)
+        assert is_nonredundant_cover(graph, covers["nonredundant"], terminals)
+        assert not is_minimum_cover(graph, covers["nonredundant"], terminals)
+
+
+class TestFigure10:
+    def test_one_chord_six_cycle(self):
+        graph = figures.figure10_graph()
+        assert is_61_chordal_bipartite(graph)
+        assert not is_62_chordal_bipartite(graph)
+
+
+class TestFigure11:
+    def test_class_membership(self):
+        graph = figures.figure11_graph()
+        assert is_61_chordal_bipartite(graph)
+        assert not is_62_chordal_bipartite(graph)
+
+    def test_cases_are_well_formed(self):
+        cases = figures.figure11_cases()
+        hubs = {case.pivot for case in cases}
+        assert hubs == set(next(iter(cases)).hubs)
+        graph = figures.figure11_graph()
+        for case in cases:
+            assert case.witness <= graph.vertices()
+            assert not (case.witness & case.hubs)
+
+    def test_no_good_ordering_sampled(self):
+        from repro.core import sample_orderings_not_good
+
+        assert sample_orderings_not_good(
+            figures.figure11_graph(), figures.figure11_cases(), samples=40, rng=1
+        )
+
+
+def test_all_figures_registry():
+    registry = figures.all_figures()
+    assert len(registry) >= 14
+    assert "fig11" in registry and "fig6" in registry

@@ -1,0 +1,138 @@
+"""Tests for graph generators, matrix views and small utilities."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    BipartiteGraph,
+    adjacency_matrix,
+    biadjacency_matrix,
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    degree_histogram,
+    density,
+    even_cycle_bipartite,
+    grid_graph,
+    is_bipartite,
+    is_connected,
+    is_forest,
+    path_graph,
+    random_bipartite,
+    random_bipartite_tree,
+    random_graph,
+    random_tree,
+    star_graph,
+)
+from repro.utils.ordering import (
+    is_permutation_of,
+    positions,
+    restrict_ordering,
+    stable_unique,
+)
+from repro.utils.rng import ensure_rng, sample_subset
+
+
+class TestGenerators:
+    def test_path_cycle_star_complete(self):
+        assert path_graph(5).number_of_edges() == 5
+        assert cycle_graph(6).number_of_edges() == 6
+        assert star_graph(7).number_of_edges() == 7
+        assert complete_graph(5).number_of_edges() == 10
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+        with pytest.raises(ValueError):
+            path_graph(-1)
+        with pytest.raises(ValueError):
+            even_cycle_bipartite(5)
+        with pytest.raises(ValueError):
+            random_tree(0)
+
+    def test_complete_bipartite(self):
+        graph = complete_bipartite(3, 4)
+        assert graph.number_of_edges() == 12
+        assert len(graph.left()) == 3 and len(graph.right()) == 4
+
+    def test_even_cycle_bipartite(self):
+        graph = even_cycle_bipartite(8)
+        assert is_bipartite(graph)
+        assert graph.number_of_edges() == 8
+
+    def test_random_graph_is_deterministic_with_seed(self):
+        g1 = random_graph(10, 0.3, rng=42)
+        g2 = random_graph(10, 0.3, rng=42)
+        assert g1 == g2
+
+    def test_random_tree_is_tree(self):
+        for seed in range(5):
+            tree = random_tree(12, rng=seed)
+            assert is_forest(tree) and is_connected(tree)
+
+    def test_random_bipartite_no_isolated(self):
+        graph = random_bipartite(6, 5, 0.1, rng=3, ensure_no_isolated=True)
+        assert all(graph.degree(v) > 0 for v in graph.vertices())
+
+    def test_random_bipartite_tree(self):
+        for seed in range(5):
+            graph = random_bipartite_tree(5, 4, rng=seed)
+            assert is_forest(graph) and is_connected(graph)
+            assert isinstance(graph, BipartiteGraph)
+
+    def test_grid_graph(self):
+        graph = grid_graph(3, 4)
+        assert graph.number_of_vertices() == 12
+        assert graph.number_of_edges() == 3 * 3 + 2 * 4
+
+
+class TestMatrices:
+    def test_adjacency_matrix_symmetric(self):
+        graph = cycle_graph(5)
+        matrix, order = adjacency_matrix(graph)
+        assert matrix.shape == (5, 5)
+        assert (matrix == matrix.T).all()
+        assert matrix.sum() == 2 * graph.number_of_edges()
+
+    def test_biadjacency_matrix(self):
+        graph = complete_bipartite(2, 3)
+        matrix, rows, cols = biadjacency_matrix(graph)
+        assert matrix.shape == (2, 3)
+        assert matrix.sum() == 6
+
+    def test_density_and_histogram(self):
+        assert density(complete_graph(4)) == pytest.approx(1.0)
+        assert density(Graph := path_graph(1)) == pytest.approx(1.0)
+        histogram = degree_histogram(star_graph(3))
+        assert histogram[1] == 3 and histogram[3] == 1
+
+
+class TestUtils:
+    def test_stable_unique(self):
+        assert stable_unique([3, 1, 3, 2, 1]) == [3, 1, 2]
+
+    def test_is_permutation_of(self):
+        assert is_permutation_of([2, 0, 1], range(3))
+        assert not is_permutation_of([0, 1], range(3))
+        assert not is_permutation_of([0, 0, 1], range(3))
+
+    def test_positions(self):
+        assert positions(["a", "b"]) == {"a": 0, "b": 1}
+        with pytest.raises(ValueError):
+            positions(["a", "a"])
+
+    def test_restrict_ordering(self):
+        assert restrict_ordering(["a", "b", "c"], {"c", "a"}) == ["a", "c"]
+
+    def test_ensure_rng(self):
+        assert ensure_rng(5).random() == ensure_rng(5).random()
+        generator = ensure_rng()
+        assert ensure_rng(generator) is generator
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+    def test_sample_subset(self):
+        chosen = sample_subset(range(10), 4, rng=1)
+        assert len(chosen) == 4 and set(chosen) <= set(range(10))
+        with pytest.raises(ValueError):
+            sample_subset(range(3), 5, rng=1)

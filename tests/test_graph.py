@@ -1,0 +1,129 @@
+"""Unit tests for the basic Graph data structure."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import Graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = Graph()
+        assert graph.number_of_vertices() == 0
+        assert graph.number_of_edges() == 0
+
+    def test_vertices_and_edges(self):
+        graph = Graph(vertices=["x"], edges=[("a", "b"), ("b", "c")])
+        assert graph.vertices() == {"x", "a", "b", "c"}
+        assert graph.number_of_edges() == 2
+
+    def test_from_edges(self):
+        graph = Graph.from_edges([(1, 2), (2, 3)])
+        assert graph.has_edge(1, 2) and graph.has_edge(3, 2)
+
+    def test_from_adjacency(self):
+        graph = Graph.from_adjacency({"a": ["b", "c"], "d": []})
+        assert graph.has_edge("a", "c")
+        assert graph.has_vertex("d") and graph.degree("d") == 0
+
+    def test_copy_is_independent(self):
+        graph = Graph(edges=[("a", "b")])
+        clone = graph.copy()
+        clone.add_edge("b", "c")
+        assert not graph.has_vertex("c")
+        assert clone.has_edge("b", "c")
+
+
+class TestMutation:
+    def test_add_edge_idempotent(self):
+        graph = Graph()
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "a")
+        assert graph.number_of_edges() == 1
+
+    def test_self_loop_rejected(self):
+        graph = Graph()
+        with pytest.raises(GraphError):
+            graph.add_edge("a", "a")
+
+    def test_remove_vertex_drops_incident_edges(self):
+        graph = Graph(edges=[("a", "b"), ("b", "c")])
+        graph.remove_vertex("b")
+        assert graph.vertices() == {"a", "c"}
+        assert graph.number_of_edges() == 0
+
+    def test_remove_missing_vertex_raises(self):
+        with pytest.raises(GraphError):
+            Graph().remove_vertex("ghost")
+
+    def test_remove_edge(self):
+        graph = Graph(edges=[("a", "b"), ("b", "c")])
+        graph.remove_edge("a", "b")
+        assert not graph.has_edge("a", "b")
+        assert graph.has_vertex("a")
+
+    def test_remove_missing_edge_raises(self):
+        graph = Graph(edges=[("a", "b")])
+        with pytest.raises(GraphError):
+            graph.remove_edge("a", "c")
+
+
+class TestQueries:
+    def test_neighbors_and_degree(self):
+        graph = Graph(edges=[("a", "b"), ("a", "c")])
+        assert graph.neighbors("a") == {"b", "c"}
+        assert graph.degree("a") == 2
+        assert graph.degree("b") == 1
+
+    def test_neighbors_of_missing_vertex(self):
+        with pytest.raises(GraphError):
+            Graph().neighbors("nope")
+
+    def test_neighborhood_of_set(self):
+        graph = Graph(edges=[("a", "b"), ("b", "c"), ("c", "d")])
+        assert graph.neighborhood_of_set({"a", "c"}) == {"b", "d"}
+
+    def test_private_neighbors(self):
+        graph = Graph(edges=[("hub", "leaf"), ("hub", "shared"), ("other", "shared")])
+        assert graph.private_neighbors("hub") == {"leaf"}
+        assert graph.private_neighbors("other") == set()
+
+    def test_is_clique(self, triangle):
+        assert triangle.is_clique({"a", "b", "c"})
+        assert triangle.is_clique({"a"})
+        triangle.add_vertex("d")
+        assert not triangle.is_clique({"a", "d"})
+
+    def test_contains_len_iter(self):
+        graph = Graph(edges=[("a", "b")])
+        assert "a" in graph and "z" not in graph
+        assert len(graph) == 2
+        assert set(iter(graph)) == {"a", "b"}
+
+    def test_equality(self):
+        g1 = Graph(edges=[("a", "b"), ("b", "c")])
+        g2 = Graph(edges=[("b", "c"), ("a", "b")])
+        assert g1 == g2
+        g2.add_vertex("z")
+        assert g1 != g2
+
+
+class TestDerivedGraphs:
+    def test_subgraph_induced(self):
+        graph = Graph(edges=[("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")])
+        sub = graph.subgraph({"a", "b", "c"})
+        assert sub.vertices() == {"a", "b", "c"}
+        assert sub.number_of_edges() == 3
+
+    def test_subgraph_ignores_unknown(self):
+        graph = Graph(edges=[("a", "b")])
+        assert graph.subgraph({"a", "zzz"}).vertices() == {"a"}
+
+    def test_without_vertices(self):
+        graph = Graph(edges=[("a", "b"), ("b", "c")])
+        assert graph.without_vertex("b").number_of_edges() == 0
+        assert graph.without_vertices(["a", "b"]).vertices() == {"c"}
+
+    def test_edge_set(self):
+        graph = Graph(edges=[("a", "b")])
+        assert graph.edge_set() == {frozenset(("a", "b"))}

@@ -1,0 +1,138 @@
+"""Tests for the Hypergraph data structure, duals and conversions."""
+
+import pytest
+
+from repro.exceptions import HypergraphError
+from repro.graphs import BipartiteGraph
+from repro.hypergraphs import (
+    Hypergraph,
+    hypergraph_from_relation_schemes,
+    hypergraph_of_side,
+    incidence_graph,
+    primal_graph,
+    schema_bipartite_graph,
+)
+
+
+class TestHypergraphBasics:
+    def test_construction_with_labels(self):
+        h = Hypergraph(edges=[("r1", {"a", "b"}), ("r2", ["b", "c"])])
+        assert h.edge("r1") == frozenset({"a", "b"})
+        assert h.nodes() == {"a", "b", "c"}
+
+    def test_anonymous_edges_get_labels(self):
+        h = Hypergraph(edges=[{"a", "b"}, {"b", "c"}])
+        assert h.number_of_edges() == 2
+        assert all(label.startswith("e") for label in h.edge_labels())
+
+    def test_duplicate_edges_allowed_with_distinct_labels(self):
+        h = Hypergraph(edges=[("r1", {"a", "b"}), ("r2", {"a", "b"})])
+        assert h.number_of_edges() == 2
+        with pytest.raises(HypergraphError):
+            h.add_edge({"x"}, label="r1")
+
+    def test_empty_edge_rejected(self):
+        with pytest.raises(HypergraphError):
+            Hypergraph(edges=[set()])
+
+    def test_remove_edge_and_node(self):
+        h = Hypergraph(edges=[("r1", {"a", "b"}), ("r2", {"b"})])
+        h.remove_edge("r1")
+        assert h.edge_labels() == ["r2"]
+        h.remove_node("b")
+        assert h.number_of_edges() == 0  # r2 became empty and was dropped
+        with pytest.raises(HypergraphError):
+            h.remove_node("b")
+
+    def test_degrees_and_sizes(self):
+        h = Hypergraph(edges=[("r1", {"a", "b"}), ("r2", {"b", "c"})])
+        assert h.node_degree("b") == 2
+        assert h.total_edge_size() == 4
+        assert h.edges_containing("a") == ["r1"]
+
+    def test_isolated_nodes(self):
+        h = Hypergraph(nodes=["lonely"], edges=[("r", {"a"})])
+        assert h.isolated_nodes() == {"lonely"}
+
+    def test_partial_and_induced(self):
+        h = Hypergraph(edges=[("r1", {"a", "b"}), ("r2", {"b", "c"}), ("r3", {"c", "d"})])
+        partial = h.partial_hypergraph(["r1", "r2"])
+        assert partial.number_of_edges() == 2 and "d" not in partial
+        induced = h.induced_hypergraph({"a", "b", "c"})
+        assert induced.edge("r3") == frozenset({"c"})
+
+    def test_deduplicated_and_reduction(self):
+        h = Hypergraph(edges=[("r1", {"a", "b"}), ("r2", {"a", "b"}), ("r3", {"a"})])
+        assert h.deduplicated().number_of_edges() == 2
+        assert h.remove_contained_edges().number_of_edges() == 1
+
+    def test_equality_and_copy(self):
+        h = Hypergraph(edges=[("r", {"a", "b"})])
+        clone = h.copy()
+        assert clone == h
+        clone.add_edge({"z"}, label="extra")
+        assert clone != h
+
+
+class TestDual:
+    def test_dual_swaps_roles(self):
+        h = Hypergraph(edges=[("r1", {"a", "b"}), ("r2", {"b", "c"})])
+        dual = h.dual()
+        assert dual.nodes() == {"r1", "r2"}
+        assert dual.edge("b") == frozenset({"r1", "r2"})
+        assert dual.edge("a") == frozenset({"r1"})
+
+    def test_double_dual_preserves_incidences(self):
+        h = Hypergraph(edges=[("r1", {"a", "b"}), ("r2", {"b", "c"}), ("r3", {"c"})])
+        double = h.dual().dual()
+        for label, members in h.edge_items():
+            assert double.edge(label) == members
+
+
+class TestConversions:
+    def test_hypergraph_of_side_roundtrip(self):
+        graph = BipartiteGraph(left=["a", "b"], right=["R", "S"])
+        graph.add_edge("a", "R")
+        graph.add_edge("b", "R")
+        graph.add_edge("b", "S")
+        h2 = hypergraph_of_side(graph, 2)
+        assert h2.edge("R") == frozenset({"a", "b"})
+        assert h2.edge("S") == frozenset({"b"})
+        back = incidence_graph(h2)
+        assert back.edge_set() == graph.edge_set()
+
+    def test_h1_and_h2_are_dual(self):
+        graph = BipartiteGraph(left=["a", "b"], right=["R", "S"])
+        graph.add_edge("a", "R")
+        graph.add_edge("b", "R")
+        graph.add_edge("b", "S")
+        h1 = hypergraph_of_side(graph, 1)
+        h2 = hypergraph_of_side(graph, 2)
+        assert h1.dual() == h2 or all(
+            h1.dual().edge(lbl) == h2.edge(lbl) for lbl in h2.edge_labels()
+        )
+
+    def test_isolated_edge_vertices(self):
+        graph = BipartiteGraph(left=["a"], right=["R", "lonely"])
+        graph.add_edge("a", "R")
+        h = hypergraph_of_side(graph, 2)
+        assert h.number_of_edges() == 1
+        with pytest.raises(HypergraphError):
+            hypergraph_of_side(graph, 2, skip_isolated_edges=False)
+
+    def test_incidence_graph_label_collision(self):
+        h = Hypergraph(edges=[("a", {"a"})])
+        with pytest.raises(HypergraphError):
+            incidence_graph(h)
+
+    def test_primal_graph(self):
+        h = Hypergraph(edges=[("r", {"a", "b", "c"}), ("s", {"c", "d"})])
+        primal = primal_graph(h)
+        assert primal.has_edge("a", "b") and primal.has_edge("c", "d")
+        assert not primal.has_edge("a", "d")
+
+    def test_relation_scheme_helpers(self):
+        h = hypergraph_from_relation_schemes([{"a", "b"}, {"b", "c"}], labels=["R", "S"])
+        assert h.edge("S") == frozenset({"b", "c"})
+        graph = schema_bipartite_graph(h)
+        assert graph.side_of("a") == 1 and graph.side_of("R") == 2

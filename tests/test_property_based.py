@@ -1,0 +1,206 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These complement the example-based tests with randomised structural
+invariants: the two implementations of every recognition problem agree, the
+polynomial algorithms match the exhaustive baselines, and the elimination
+procedures always produce nonredundant covers.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.chordality import (
+    is_61_chordal_bipartite,
+    is_62_chordal_bipartite,
+    is_chordal,
+    is_side_chordal,
+    is_side_conformal,
+)
+from repro.core import is_nonredundant_cover
+from repro.core.good_ordering import fast_greedy_cover
+from repro.graphs import BipartiteGraph, Graph, is_forest, spanning_tree, is_connected
+from repro.hypergraphs import (
+    Hypergraph,
+    hypergraph_of_side,
+    is_alpha_acyclic,
+    is_berge_acyclic,
+    is_beta_acyclic,
+    is_conformal_cliques,
+    is_conformal_gilmore,
+    is_gamma_acyclic,
+)
+from repro.steiner import (
+    pseudo_steiner_algorithm1,
+    pseudo_steiner_bruteforce,
+    steiner_algorithm2,
+    steiner_tree_bruteforce,
+)
+
+COMMON_SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+@st.composite
+def bipartite_graphs(draw, max_left=4, max_right=4):
+    n_left = draw(st.integers(min_value=1, max_value=max_left))
+    n_right = draw(st.integers(min_value=1, max_value=max_right))
+    left = [f"l{i}" for i in range(n_left)]
+    right = [f"r{j}" for j in range(n_right)]
+    graph = BipartiteGraph(left=left, right=right)
+    for u in left:
+        for v in right:
+            if draw(st.booleans()):
+                graph.add_edge(u, v)
+    return graph
+
+
+@st.composite
+def hypergraphs(draw, max_nodes=5, max_edges=5):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    m = draw(st.integers(min_value=1, max_value=max_edges))
+    nodes = [f"n{i}" for i in range(n)]
+    hypergraph = Hypergraph(nodes=nodes)
+    for index in range(m):
+        members = draw(
+            st.sets(st.sampled_from(nodes), min_size=1, max_size=min(4, n))
+        )
+        hypergraph.add_edge(members, label=f"e{index}")
+    return hypergraph
+
+
+@st.composite
+def small_graphs(draw, max_vertices=7):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    graph = Graph(vertices=range(n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.booleans()):
+                graph.add_edge(i, j)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# hypergraph invariants
+# ----------------------------------------------------------------------
+@COMMON_SETTINGS
+@given(hypergraphs())
+def test_acyclicity_hierarchy(hypergraph):
+    """Berge => gamma => beta => alpha."""
+    if is_berge_acyclic(hypergraph):
+        assert is_gamma_acyclic(hypergraph)
+    if is_gamma_acyclic(hypergraph):
+        assert is_beta_acyclic(hypergraph)
+    if is_beta_acyclic(hypergraph):
+        assert is_alpha_acyclic(hypergraph)
+
+
+@COMMON_SETTINGS
+@given(hypergraphs(max_nodes=4, max_edges=4))
+def test_acyclicity_methods_agree(hypergraph):
+    assert is_beta_acyclic(hypergraph) == is_beta_acyclic(hypergraph, method="search")
+    assert is_gamma_acyclic(hypergraph) == is_gamma_acyclic(hypergraph, method="search")
+    assert is_alpha_acyclic(hypergraph, method="gyo") == is_alpha_acyclic(
+        hypergraph, method="definition"
+    )
+
+
+@COMMON_SETTINGS
+@given(hypergraphs(max_nodes=5, max_edges=4))
+def test_conformality_methods_agree(hypergraph):
+    assert is_conformal_gilmore(hypergraph) == is_conformal_cliques(hypergraph)
+
+
+@COMMON_SETTINGS
+@given(hypergraphs(max_nodes=4, max_edges=4))
+def test_self_duality_of_berge_gamma_beta(hypergraph):
+    if hypergraph.isolated_nodes():
+        return
+    dual = hypergraph.dual()
+    assert is_berge_acyclic(hypergraph) == is_berge_acyclic(dual)
+    assert is_gamma_acyclic(hypergraph) == is_gamma_acyclic(dual)
+    assert is_beta_acyclic(hypergraph) == is_beta_acyclic(dual)
+
+
+# ----------------------------------------------------------------------
+# graph invariants
+# ----------------------------------------------------------------------
+@COMMON_SETTINGS
+@given(small_graphs())
+def test_chordality_methods_agree(graph):
+    assert (
+        is_chordal(graph, method="mcs")
+        == is_chordal(graph, method="lexbfs")
+        == is_chordal(graph, method="greedy")
+    )
+
+
+@COMMON_SETTINGS
+@given(bipartite_graphs())
+def test_theorem1_on_random_bipartite_graphs(graph):
+    hypergraph = hypergraph_of_side(graph, 2)
+    if hypergraph.number_of_edges() == 0:
+        return
+    assert is_61_chordal_bipartite(graph) == is_beta_acyclic(hypergraph)
+    assert is_62_chordal_bipartite(graph) == is_gamma_acyclic(hypergraph)
+    assert (
+        is_side_chordal(graph, 2) and is_side_conformal(graph, 2)
+    ) == is_alpha_acyclic(hypergraph)
+
+
+@COMMON_SETTINGS
+@given(bipartite_graphs(max_left=3, max_right=3))
+def test_spanning_tree_of_connected_graphs(graph):
+    if not is_connected(graph) or graph.number_of_vertices() == 0:
+        return
+    tree = spanning_tree(graph)
+    assert is_forest(tree)
+    assert tree.vertices() == graph.vertices()
+
+
+# ----------------------------------------------------------------------
+# Steiner invariants
+# ----------------------------------------------------------------------
+@COMMON_SETTINGS
+@given(bipartite_graphs(max_left=3, max_right=3), st.randoms(use_true_random=False))
+def test_algorithms_match_bruteforce_when_applicable(graph, rng):
+    if graph.number_of_vertices() < 3:
+        return
+    vertices = graph.sorted_vertices()
+    terminals = rng.sample(vertices, min(3, len(vertices)))
+    from repro.graphs import vertices_in_same_component
+
+    if not vertices_in_same_component(graph, terminals):
+        return
+    if is_62_chordal_bipartite(graph):
+        fast = steiner_algorithm2(graph, terminals)
+        exact = steiner_tree_bruteforce(graph, terminals)
+        assert fast.vertex_count() == exact.vertex_count()
+    if is_side_chordal(graph, 2) and is_side_conformal(graph, 2):
+        fast = pseudo_steiner_algorithm1(graph, terminals, side=2)
+        exact = pseudo_steiner_bruteforce(graph, terminals, side=2)
+        assert fast.side_count(2) == exact.side_count(2)
+
+
+@COMMON_SETTINGS
+@given(bipartite_graphs(max_left=3, max_right=3), st.integers(min_value=0, max_value=10_000))
+def test_greedy_elimination_always_nonredundant(graph, seed):
+    from repro.graphs import vertices_in_same_component
+
+    vertices = graph.sorted_vertices()
+    if len(vertices) < 2:
+        return
+    rng = random.Random(seed)
+    terminals = rng.sample(vertices, 2)
+    if not vertices_in_same_component(graph, terminals):
+        return
+    order = list(vertices)
+    rng.shuffle(order)
+    cover = fast_greedy_cover(graph, terminals, order)
+    assert is_nonredundant_cover(graph, cover, terminals)

@@ -1,0 +1,120 @@
+"""Theorem 2 / Corollary 3 reduction gadgets and the X3C machinery."""
+
+import pytest
+
+from repro.chordality import is_side_chordal, is_side_conformal
+from repro.datasets.figures import figure6_reduction, figure6_x3c_instance
+from repro.exceptions import ValidationError
+from repro.graphs import complete_graph
+from repro.steiner import (
+    UNIVERSAL_VERTEX,
+    X3CInstance,
+    chordal_steiner_to_pseudo_steiner,
+    exact_cover_from_tree,
+    pseudo_steiner_bruteforce,
+    random_x3c_instance,
+    steiner_decision_answers_x3c,
+    steiner_tree_bruteforce,
+    x3c_to_steiner,
+)
+
+
+class TestX3CInstances:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            X3CInstance(["a", "b"], [])
+        with pytest.raises(ValidationError):
+            X3CInstance(["a", "b", "c"], [{"a", "b"}])
+        with pytest.raises(ValidationError):
+            X3CInstance(["a", "b", "c"], [{"a", "b", "z"}])
+
+    def test_figure6_instance_is_satisfiable(self):
+        instance = figure6_x3c_instance()
+        cover = instance.find_exact_cover()
+        assert cover is not None
+        covered = set()
+        for triple in cover:
+            assert not (covered & triple)
+            covered |= triple
+        assert covered == set(instance.elements)
+
+    def test_unsatisfiable_instance(self):
+        instance = X3CInstance(
+            ["x1", "x2", "x3", "x4", "x5", "x6"],
+            [{"x1", "x2", "x3"}, {"x3", "x4", "x5"}],
+        )
+        assert not instance.has_exact_cover()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_satisfiable_instances(self, seed):
+        instance = random_x3c_instance(3, extra_triples=2, rng=seed)
+        assert instance.has_exact_cover()
+
+
+class TestTheorem2Reduction:
+    def test_reduction_graph_shape(self):
+        reduction = figure6_reduction()
+        graph = reduction.graph
+        # one V1 vertex per triple, |X| + 1 vertices on V2
+        assert len(graph.left()) == 3
+        assert len(graph.right()) == 7
+        assert UNIVERSAL_VERTEX in graph.right()
+        # the universal vertex is adjacent to every triple vertex
+        assert graph.neighbors(UNIVERSAL_VERTEX) == graph.left()
+
+    def test_reduction_graph_is_v2_chordal_and_conformal(self):
+        reduction = figure6_reduction()
+        assert is_side_chordal(reduction.graph, 2)
+        assert is_side_conformal(reduction.graph, 2)
+
+    def test_yes_instance_meets_budget(self):
+        reduction = figure6_reduction()
+        solution = steiner_tree_bruteforce(reduction.graph, reduction.terminals)
+        assert steiner_decision_answers_x3c(reduction, solution.vertex_count())
+        chosen = exact_cover_from_tree(reduction, solution.tree.vertices())
+        covered = set()
+        for triple in chosen:
+            covered |= triple
+        assert covered == set(reduction.instance.elements)
+
+    def test_no_instance_exceeds_budget(self):
+        instance = X3CInstance(
+            ["x1", "x2", "x3", "x4", "x5", "x6"],
+            [{"x1", "x2", "x3"}, {"x2", "x3", "x4"}, {"x3", "x4", "x5"}, {"x2", "x5", "x6"}],
+        )
+        assert not instance.has_exact_cover()
+        reduction = x3c_to_steiner(instance)
+        solution = steiner_tree_bruteforce(reduction.graph, reduction.terminals)
+        assert not steiner_decision_answers_x3c(reduction, solution.vertex_count())
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_reduction_agrees_with_bruteforce_x3c(self, seed):
+        instance = random_x3c_instance(2, extra_triples=2, satisfiable=bool(seed % 2), rng=seed)
+        reduction = x3c_to_steiner(instance)
+        solution = steiner_tree_bruteforce(reduction.graph, reduction.terminals)
+        assert steiner_decision_answers_x3c(
+            reduction, solution.vertex_count()
+        ) == instance.has_exact_cover()
+
+    def test_corollary3_pseudo_steiner_side_budget(self):
+        """A tree with at most q V1-vertices exists iff the X3C instance is a yes-instance."""
+        reduction = figure6_reduction()
+        pseudo = pseudo_steiner_bruteforce(reduction.graph, reduction.terminals, side=1)
+        assert (pseudo.side_count(1) <= reduction.side_budget) == reduction.instance.has_exact_cover()
+
+
+class TestFig9Reduction:
+    def test_subdivision_reduction(self):
+        graph = complete_graph(4)
+        bipartite, terminals = chordal_steiner_to_pseudo_steiner(graph, [0, 1, 2])
+        # every edge vertex has degree exactly two
+        for vertex in bipartite.right():
+            assert bipartite.degree(vertex) == 2
+        assert terminals == frozenset({0, 1, 2})
+        # connecting k+1 original vertices needs at least k edge-vertices
+        pseudo = pseudo_steiner_bruteforce(bipartite, terminals, side=2)
+        assert pseudo.side_count(2) == 2
+
+    def test_unknown_terminal_rejected(self):
+        with pytest.raises(ValidationError):
+            chordal_steiner_to_pseudo_steiner(complete_graph(3), [99])

@@ -1,0 +1,225 @@
+"""The semantic layer: relational engine, schemas, ER models, joins, queries."""
+
+import pytest
+
+from repro.datasets.figures import figure1_er_schema, figure1_relational_schema
+from repro.datasets.generators import random_alpha_acyclic_schema
+from repro.exceptions import BipartitenessError, ValidationError
+from repro.semantic import (
+    Database,
+    ERSchema,
+    QueryInterpreter,
+    Relation,
+    RelationalSchema,
+    plain_join_plan,
+    schema_from_hypergraph,
+    semijoin_program,
+)
+
+
+class TestRelation:
+    def test_rows_and_schemes(self):
+        relation = Relation("R", ["a", "b"], [{"a": 1, "b": 2}, {"a": 1, "b": 2}])
+        assert len(relation) == 1
+        assert relation.scheme() == frozenset({"a", "b"})
+
+    def test_row_validation(self):
+        relation = Relation("R", ["a"])
+        with pytest.raises(ValidationError):
+            relation.add_row({"b": 1})
+        with pytest.raises(ValidationError):
+            Relation("bad", ["a", "a"])
+
+    def test_project_select(self):
+        relation = Relation("R", ["a", "b"], [{"a": 1, "b": 2}, {"a": 3, "b": 2}])
+        assert len(relation.project(["b"])) == 1
+        assert len(relation.select(lambda row: row["a"] == 3)) == 1
+        with pytest.raises(ValidationError):
+            relation.project(["zzz"])
+
+    def test_natural_join(self):
+        r = Relation("R", ["a", "b"], [{"a": 1, "b": 2}, {"a": 2, "b": 9}])
+        s = Relation("S", ["b", "c"], [{"b": 2, "c": "x"}, {"b": 3, "c": "y"}])
+        joined = r.natural_join(s)
+        assert set(joined.attributes) == {"a", "b", "c"}
+        assert joined.rows() == [{"a": 1, "b": 2, "c": "x"}]
+
+    def test_semijoin_and_union(self):
+        r = Relation("R", ["a", "b"], [{"a": 1, "b": 2}, {"a": 2, "b": 9}])
+        s = Relation("S", ["b"], [{"b": 2}])
+        assert r.semijoin(s).rows() == [{"a": 1, "b": 2}]
+        doubled = r.union(r.copy())
+        assert len(doubled) == 2
+        with pytest.raises(ValidationError):
+            r.union(s)
+
+    def test_equality(self):
+        r1 = Relation("R", ["a"], [{"a": 1}])
+        r2 = Relation("other", ["a"], [{"a": 1}])
+        assert r1 == r2
+
+
+class TestDatabase:
+    def test_add_and_lookup(self):
+        database = Database([Relation("R", ["a"])])
+        assert "R" in database and len(database) == 1
+        with pytest.raises(ValidationError):
+            database.add_relation(Relation("R", ["b"]))
+        with pytest.raises(ValidationError):
+            database.relation("missing")
+
+    def test_join_all(self):
+        database = Database(
+            [
+                Relation("R", ["a", "b"], [{"a": 1, "b": 2}]),
+                Relation("S", ["b", "c"], [{"b": 2, "c": 3}]),
+            ]
+        )
+        result = database.join_all(["R", "S"])
+        assert result.rows() == [{"a": 1, "b": 2, "c": 3}]
+
+
+class TestRelationalSchema:
+    def test_basic_accessors(self):
+        schema = figure1_relational_schema()
+        assert "EMPLOYEE" in schema.relation_names()
+        assert "DATE" in schema.attributes()
+        assert set(schema.relations_containing("DATE")) == {"EMPLOYEE", "WORKS"}
+        assert len(schema) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            RelationalSchema({"R": []})
+        with pytest.raises(ValidationError):
+            RelationalSchema({"R": ["a"]}).scheme("S")
+
+    def test_graph_and_hypergraph_views(self):
+        schema = figure1_relational_schema()
+        graph = schema.schema_graph()
+        assert graph.side_of("DATE") == 1
+        assert graph.side_of("WORKS") == 2
+        hypergraph = schema.hypergraph()
+        assert hypergraph.edge("WORKS") == frozenset({"E#", "D#", "DATE"})
+        assert schema_from_hypergraph(hypergraph).schemes() == schema.schemes()
+
+    def test_classification(self):
+        schema = figure1_relational_schema()
+        assert schema.acyclicity_degree() in {"alpha", "beta", "gamma", "berge"}
+        report = schema.chordality_report()
+        assert report.v2_alpha
+
+    def test_databases(self):
+        schema = figure1_relational_schema()
+        empty = schema.empty_database()
+        assert len(empty.relation("EMPLOYEE")) == 0
+        random_db = schema.random_database(rows_per_relation=4, rng=3)
+        assert len(random_db.relation("WORKS")) <= 4
+
+
+class TestERSchema:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ERSchema(entities={"E": ["a"]}, relationships={"E": ["E"]})
+        with pytest.raises(ValidationError):
+            ERSchema(entities={"E": ["a"]}, relationships={"R": ["UNKNOWN"]})
+        with pytest.raises(ValidationError):
+            ERSchema(entities={"E": ["a"]}, relationships={"R": []})
+
+    def test_figure1_views(self):
+        er = figure1_er_schema()
+        concept = er.concept_graph()
+        assert concept.has_edge("EMPLOYEE", "DATE")
+        assert concept.has_edge("WORKS", "EMPLOYEE")
+        schema = er.relational_schema()
+        assert "WORKS" in schema.relation_names()
+
+    def test_bipartite_projection(self):
+        er = ERSchema(
+            entities={"E": ["a", "b"], "F": ["c"]},
+            relationships={"R": ["E", "F"]},
+        )
+        graph = er.bipartite_graph()
+        assert graph.side_of("a") == graph.side_of("R")
+
+    def test_non_bipartite_concept_graph_detected(self):
+        er = figure1_er_schema()  # WORKS-DATE-EMPLOYEE triangle
+        assert not er.is_bipartite()
+        with pytest.raises(BipartitenessError):
+            er.bipartite_graph()
+
+
+class TestJoinPlans:
+    def test_semijoin_program_equals_plain_join(self):
+        for seed in range(4):
+            schema = random_alpha_acyclic_schema(4, rng=seed)
+            database = schema.random_database(rows_per_relation=6, rng=seed)
+            names = schema.relation_names()
+            plain = plain_join_plan(names).execute(database)
+            reduced = semijoin_program(schema, names).execute(database)
+            assert plain == reduced
+
+    def test_semijoin_program_rejects_cyclic_subsets(self):
+        schema = RelationalSchema({"R": ["a", "b"], "S": ["b", "c"], "T": ["a", "c"]})
+        with pytest.raises(ValidationError):
+            semijoin_program(schema, ["R", "S", "T"])
+
+    def test_plan_description(self):
+        schema = figure1_relational_schema()
+        plan = semijoin_program(schema, ["EMPLOYEE", "WORKS"], projection=["ENAME"])
+        text = plan.describe()
+        assert any("semijoin" in line for line in text)
+        assert any("project" in line for line in text)
+
+
+class TestQueryInterpreter:
+    def test_unknown_objects_rejected(self):
+        interpreter = QueryInterpreter(figure1_relational_schema())
+        with pytest.raises(ValidationError):
+            interpreter.minimal_interpretation(["NOPE"])
+        with pytest.raises(ValidationError):
+            interpreter.minimal_interpretation([])
+
+    def test_minimal_and_ranked_interpretations(self):
+        interpreter = QueryInterpreter(figure1_relational_schema())
+        best = interpreter.minimal_interpretation(["EMPLOYEE", "DATE"])
+        assert best.auxiliary_objects == set()
+        ranked = interpreter.interpretations(["ENAME", "DNAME"], limit=3)
+        assert ranked and ranked[0].solution.vertex_count() <= ranked[-1].solution.vertex_count()
+
+    def test_fewest_relations_interpretation(self):
+        interpreter = QueryInterpreter(figure1_relational_schema())
+        interpretation = interpreter.fewest_relations_interpretation(["ENAME", "DNAME"])
+        relations = interpreter.relations_of(interpretation)
+        assert relations  # at least one relation is needed
+        assert interpretation.solution.side == 2
+
+    def test_answer_executes_join(self):
+        schema = figure1_relational_schema()
+        interpreter = QueryInterpreter(schema)
+        database = Database(
+            [
+                Relation(
+                    "EMPLOYEE",
+                    ["DATE", "E#", "ENAME"],
+                    [{"E#": 1, "ENAME": "ada", "DATE": "1815"}],
+                ),
+                Relation("DEPARTMENT", ["D#", "DNAME"], [{"D#": 7, "DNAME": "cs"}]),
+                Relation(
+                    "WORKS",
+                    ["D#", "DATE", "E#"],
+                    [{"E#": 1, "D#": 7, "DATE": "1840"}],
+                ),
+            ]
+        )
+        answer = interpreter.answer(["ENAME", "DATE"], database)
+        assert {"DATE", "ENAME"} == set(answer.attributes)
+        assert {"DATE": "1815", "ENAME": "ada"} in answer.rows()
+
+    def test_interpreter_accepts_er_schema_with_bipartite_concepts(self):
+        er = ERSchema(
+            entities={"E": ["a", "b"], "F": ["c"]},
+            relationships={"R": ["E", "F"]},
+        )
+        interpreter = QueryInterpreter(er)
+        result = interpreter.minimal_interpretation(["a", "c"])
+        assert result.solution.is_valid()

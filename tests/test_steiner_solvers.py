@@ -1,0 +1,146 @@
+"""Exact Steiner solvers, heuristics and the solution object."""
+
+import random
+
+import pytest
+
+from repro.datasets.generators import random_62_chordal_graph, random_terminals
+from repro.exceptions import DisconnectedTerminalsError, ValidationError
+from repro.graphs import Graph, cycle_graph, grid_graph, path_graph, random_graph
+from repro.steiner import (
+    SteinerInstance,
+    SteinerSolution,
+    kou_markowsky_berman,
+    prune_non_terminal_leaves,
+    shortest_path_heuristic,
+    steiner_tree_bruteforce,
+    steiner_tree_dreyfus_wagner,
+)
+
+
+class TestInstanceAndSolution:
+    def test_instance_validation(self):
+        graph = path_graph(3)
+        with pytest.raises(ValidationError):
+            SteinerInstance(graph, [])
+        with pytest.raises(ValidationError):
+            SteinerInstance(graph, [99])
+        instance = SteinerInstance(graph, [0, 3])
+        assert instance.is_feasible()
+        assert instance.terminal_list() == [0, 3]
+
+    def test_infeasible_instance(self):
+        graph = Graph(edges=[("a", "b"), ("c", "d")])
+        instance = SteinerInstance(graph, ["a", "c"])
+        assert not instance.is_feasible()
+        with pytest.raises(DisconnectedTerminalsError):
+            instance.require_feasible()
+
+    def test_solution_validation(self):
+        graph = path_graph(3)
+        instance = SteinerInstance(graph, [0, 3])
+        tree = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+        solution = SteinerSolution(tree=tree, instance=instance, method="manual")
+        solution.validate()
+        assert solution.vertex_count() == 4
+        assert solution.auxiliary_count() == 2
+        assert solution.summary()["vertices"] == 4
+
+    def test_invalid_solutions_detected(self):
+        graph = path_graph(3)
+        instance = SteinerInstance(graph, [0, 3])
+        missing_terminal = SteinerSolution(
+            tree=Graph(edges=[(0, 1)]), instance=instance, method="manual"
+        )
+        assert not missing_terminal.is_valid()
+        fake_edge = Graph(edges=[(0, 3)])
+        assert not SteinerSolution(tree=fake_edge, instance=instance).is_valid()
+        cyclic = Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert not SteinerSolution(tree=cyclic, instance=instance).is_valid()
+
+    def test_side_count_requires_bipartite(self):
+        graph = path_graph(2)
+        instance = SteinerInstance(graph, [0, 2])
+        solution = SteinerSolution(
+            tree=Graph(edges=[(0, 1), (1, 2)]), instance=instance, side=1
+        )
+        with pytest.raises(ValidationError):
+            solution.side_count()
+
+    def test_prune_non_terminal_leaves(self):
+        tree = Graph(edges=[("t1", "x"), ("x", "t2"), ("x", "dead"), ("dead", "deader")])
+        pruned = prune_non_terminal_leaves(tree, ["t1", "t2"])
+        assert pruned.vertices() == {"t1", "x", "t2"}
+
+
+class TestExactSolvers:
+    def test_single_terminal(self):
+        graph = path_graph(3)
+        solution = steiner_tree_dreyfus_wagner(graph, [2])
+        assert solution.vertex_count() == 1
+
+    def test_terminals_forming_path(self):
+        graph = path_graph(5)
+        for solver in (steiner_tree_bruteforce, steiner_tree_dreyfus_wagner):
+            solution = solver(graph, [0, 5])
+            assert solution.vertex_count() == 6
+            solution.validate()
+
+    def test_on_cycle(self):
+        graph = cycle_graph(8)
+        for solver in (steiner_tree_bruteforce, steiner_tree_dreyfus_wagner):
+            solution = solver(graph, [0, 3])
+            assert solution.vertex_count() == 4
+
+    def test_grid_instance(self):
+        graph = grid_graph(3, 3)
+        terminals = [(0, 0), (0, 2), (2, 0)]
+        brute = steiner_tree_bruteforce(graph, terminals)
+        dw = steiner_tree_dreyfus_wagner(graph, terminals)
+        assert brute.vertex_count() == dw.vertex_count() == 5
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_dreyfus_wagner_matches_bruteforce_on_random_graphs(self, seed):
+        rng = random.Random(seed)
+        graph = random_graph(8, 0.35, rng=rng)
+        from repro.graphs import connected_components
+
+        component = max(connected_components(graph), key=len)
+        if len(component) < 3:
+            pytest.skip("random graph too sparse")
+        terminals = sorted(component, key=repr)[:3]
+        brute = steiner_tree_bruteforce(graph, terminals)
+        dw = steiner_tree_dreyfus_wagner(graph, terminals)
+        assert brute.vertex_count() == dw.vertex_count()
+        dw.validate()
+
+    def test_disconnected_terminals_raise(self):
+        graph = Graph(edges=[("a", "b"), ("c", "d")])
+        with pytest.raises(DisconnectedTerminalsError):
+            steiner_tree_bruteforce(graph, ["a", "c"])
+
+    def test_bruteforce_budget(self):
+        graph = path_graph(6)
+        with pytest.raises(DisconnectedTerminalsError):
+            steiner_tree_bruteforce(graph, [0, 6], max_extra=2)
+
+
+class TestHeuristics:
+    @pytest.mark.parametrize(
+        "heuristic", [shortest_path_heuristic, kou_markowsky_berman]
+    )
+    def test_heuristics_return_valid_trees(self, heuristic):
+        for seed in range(6):
+            rng = random.Random(seed)
+            graph = random_62_chordal_graph(4, rng=rng)
+            terminals = random_terminals(graph, 4, rng=rng)
+            solution = heuristic(graph, terminals)
+            solution.validate()
+            exact = steiner_tree_bruteforce(graph, terminals)
+            # 2-approximation on the number of edges implies this bound
+            assert solution.vertex_count() <= 2 * exact.vertex_count()
+
+    def test_single_terminal_heuristics(self):
+        graph = path_graph(3)
+        assert kou_markowsky_berman(graph, [1]).vertex_count() == 1
+        assert shortest_path_heuristic(graph, [1]).vertex_count() == 1

@@ -1,0 +1,156 @@
+"""Theorem 1 and Corollaries 1-2: chordality <-> acyclicity equivalences.
+
+These are the paper's central structural results; every statement is
+checked on random bipartite graphs by comparing the *definitional* graph
+side (cycle enumeration on ``G``) against the *hypergraph* side (acyclicity
+of ``H_1(G)`` / ``H_2(G)``).
+"""
+
+import random
+
+import pytest
+
+from repro.chordality import (
+    is_41_chordal_bipartite,
+    is_61_chordal_bipartite,
+    is_62_chordal_bipartite,
+    is_mn_chordal,
+    is_side_chordal,
+    is_side_conformal,
+)
+from repro.datasets.generators import (
+    random_62_chordal_graph,
+    random_alpha_schema_graph,
+    random_beta_schema_graph,
+)
+from repro.graphs import is_forest, random_bipartite
+from repro.hypergraphs import (
+    acyclicity_degree,
+    hypergraph_of_side,
+    is_alpha_acyclic,
+    is_berge_acyclic,
+    is_beta_acyclic,
+    is_gamma_acyclic,
+)
+
+
+def _random_graph(seed):
+    rng = random.Random(seed)
+    return random_bipartite(rng.randint(2, 5), rng.randint(2, 5), rng.uniform(0.25, 0.6), rng=rng)
+
+
+@pytest.mark.parametrize("seed", range(20))
+class TestTheorem1SymmetricParts:
+    """Parts (i)-(iv): (4,1)/(6,2)/(6,1)-chordality <-> Berge/gamma/beta acyclicity."""
+
+    def test_part_i_berge(self, seed):
+        graph = _random_graph(seed)
+        hypergraph = hypergraph_of_side(graph, 2)
+        if hypergraph.number_of_edges() == 0:
+            pytest.skip("degenerate graph with no edges")
+        assert is_mn_chordal(graph, 4, 1) == is_forest(graph) == is_berge_acyclic(hypergraph)
+
+    def test_part_ii_gamma(self, seed):
+        graph = _random_graph(seed)
+        hypergraph = hypergraph_of_side(graph, 2)
+        if hypergraph.number_of_edges() == 0:
+            pytest.skip("degenerate graph with no edges")
+        assert is_mn_chordal(graph, 6, 2) == is_gamma_acyclic(hypergraph)
+
+    def test_part_iii_beta(self, seed):
+        graph = _random_graph(seed)
+        hypergraph = hypergraph_of_side(graph, 2)
+        if hypergraph.number_of_edges() == 0:
+            pytest.skip("degenerate graph with no edges")
+        assert is_mn_chordal(graph, 6, 1) == is_beta_acyclic(hypergraph)
+
+    def test_part_iv_other_side(self, seed):
+        graph = _random_graph(seed)
+        hypergraph = hypergraph_of_side(graph, 1)
+        if hypergraph.number_of_edges() == 0:
+            pytest.skip("degenerate graph with no edges")
+        assert is_mn_chordal(graph, 6, 1) == is_beta_acyclic(hypergraph)
+        assert is_mn_chordal(graph, 6, 2) == is_gamma_acyclic(hypergraph)
+
+
+@pytest.mark.parametrize("seed", range(20))
+@pytest.mark.parametrize("side", [1, 2])
+def test_theorem1_part_v_vi_alpha(seed, side):
+    """Parts (v)-(vi): V_i-chordal + V_i-conformal <-> H_i alpha-acyclic."""
+    graph = _random_graph(seed)
+    hypergraph = hypergraph_of_side(graph, side)
+    if hypergraph.number_of_edges() == 0:
+        pytest.skip("degenerate graph with no edges")
+    graph_side = is_side_chordal(graph, side, method="cycles") and is_side_conformal(
+        graph, side, method="cliques"
+    )
+    assert graph_side == is_alpha_acyclic(hypergraph)
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_corollary1_duality(seed):
+    """Berge/gamma/beta acyclicity are self-dual (Corollary 1)."""
+    rng = random.Random(seed)
+    graph = random_bipartite(rng.randint(2, 5), rng.randint(2, 5), 0.45, rng=rng)
+    hypergraph = hypergraph_of_side(graph, 2)
+    if hypergraph.number_of_edges() == 0 or hypergraph.isolated_nodes():
+        pytest.skip("degenerate hypergraph")
+    dual = hypergraph.dual()
+    assert is_berge_acyclic(hypergraph) == is_berge_acyclic(dual)
+    assert is_gamma_acyclic(hypergraph) == is_gamma_acyclic(dual)
+    assert is_beta_acyclic(hypergraph) == is_beta_acyclic(dual)
+
+
+def test_corollary1_alpha_is_not_self_dual():
+    """alpha-acyclicity is *not* self-dual; the Fig. 2 witness shows it."""
+    from repro.datasets.figures import figure2_hypergraphs
+
+    h1, h2 = figure2_hypergraphs()
+    assert is_alpha_acyclic(h2)
+    assert not is_alpha_acyclic(h1)
+
+
+class TestCorollary2Containment:
+    """(6,1)-chordal graphs are V_i-chordal and V_i-conformal for both sides."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_beta_schema_graphs_are_alpha_on_both_sides(self, seed):
+        graph = random_beta_schema_graph(5, attributes=8, rng=seed)
+        assert is_61_chordal_bipartite(graph)
+        for side in (1, 2):
+            assert is_side_chordal(graph, side) and is_side_conformal(graph, side)
+
+    def test_containment_is_proper(self):
+        from repro.datasets.figures import figure5_graph
+
+        graph = figure5_graph()
+        for side in (1, 2):
+            assert is_side_chordal(graph, side) and is_side_conformal(graph, side)
+        assert not is_61_chordal_bipartite(graph)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_class_hierarchy_on_generated_workloads(self, seed):
+        """(4,1) implies (6,2) implies (6,1); generators land in their class."""
+        g62 = random_62_chordal_graph(4, rng=seed)
+        assert is_62_chordal_bipartite(g62) and is_61_chordal_bipartite(g62)
+        galpha = random_alpha_schema_graph(5, rng=seed)
+        assert is_side_chordal(galpha, 2) and is_side_conformal(galpha, 2)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_hierarchy_is_consistent_on_random_graphs(self, seed):
+        graph = _random_graph(100 + seed)
+        if is_41_chordal_bipartite(graph):
+            assert is_62_chordal_bipartite(graph)
+        if is_62_chordal_bipartite(graph):
+            assert is_61_chordal_bipartite(graph)
+        if is_61_chordal_bipartite(graph):
+            for side in (1, 2):
+                assert is_side_chordal(graph, side) and is_side_conformal(graph, side)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_schema_degree_matches_graph_class(seed):
+    """The acyclicity degree of H_2 matches the graph classification."""
+    graph = random_62_chordal_graph(4, rng=seed)
+    hypergraph = hypergraph_of_side(graph, 2)
+    assert acyclicity_degree(hypergraph) in {"berge", "gamma"}

@@ -1,0 +1,126 @@
+"""Tests for traversal, connectivity, distances and path machinery."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import (
+    Graph,
+    bfs_distances,
+    bfs_order,
+    connected_components,
+    covers,
+    diameter,
+    distance,
+    is_connected,
+    is_minimum_path,
+    is_nonredundant_path,
+    is_path,
+    nonredundant_paths,
+    path_graph,
+    shortest_path,
+    simple_paths,
+    vertices_in_same_component,
+)
+
+
+class TestTraversal:
+    def test_bfs_order_and_distances(self):
+        graph = path_graph(4)
+        assert bfs_order(graph, 0) == [0, 1, 2, 3, 4]
+        assert bfs_distances(graph, 0) == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_bfs_missing_source(self):
+        with pytest.raises(GraphError):
+            bfs_order(Graph(), "x")
+
+    def test_connected_components(self):
+        graph = Graph(edges=[("a", "b"), ("c", "d")])
+        graph.add_vertex("e")
+        components = connected_components(graph)
+        assert sorted(len(c) for c in components) == [1, 2, 2]
+
+    def test_is_connected(self):
+        assert is_connected(Graph())
+        assert is_connected(Graph(edges=[("a", "b")]))
+        disconnected = Graph(edges=[("a", "b")])
+        disconnected.add_vertex("z")
+        assert not is_connected(disconnected)
+
+    def test_vertices_in_same_component(self):
+        graph = Graph(edges=[("a", "b"), ("c", "d")])
+        assert vertices_in_same_component(graph, ["a", "b"])
+        assert not vertices_in_same_component(graph, ["a", "c"])
+        assert not vertices_in_same_component(graph, ["a", "ghost"])
+        assert vertices_in_same_component(graph, [])
+
+    def test_covers_definition(self):
+        graph = Graph(edges=[("a", "b"), ("b", "c"), ("c", "d")])
+        assert covers(graph, {"a", "b", "c"}, {"a", "c"})
+        assert not covers(graph, {"a", "c"}, {"a", "c"})  # disconnected
+        assert not covers(graph, {"a", "b"}, {"a", "c"})  # missing terminal
+
+    def test_distance_and_diameter(self):
+        graph = path_graph(3)
+        assert distance(graph, 0, 3) == 3
+        assert diameter(graph) == 3
+        with pytest.raises(GraphError):
+            diameter(Graph(edges=[("a", "b"), ("c", "d")]))
+
+
+class TestShortestPaths:
+    def test_shortest_path_simple(self):
+        graph = path_graph(3)
+        assert shortest_path(graph, 0, 3) == [0, 1, 2, 3]
+        assert shortest_path(graph, 2, 2) == [2]
+
+    def test_shortest_path_unreachable(self):
+        graph = Graph(edges=[("a", "b")])
+        graph.add_vertex("z")
+        assert shortest_path(graph, "a", "z") is None
+
+    def test_shortest_path_length_matches_bfs(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (0, 3), (3, 2), (2, 4)])
+        path = shortest_path(graph, 0, 4)
+        assert len(path) - 1 == bfs_distances(graph, 0)[4]
+
+
+class TestPathPredicates:
+    def test_is_path(self):
+        graph = path_graph(3)
+        assert is_path(graph, [0, 1, 2])
+        assert is_path(graph, [2])
+        assert not is_path(graph, [0, 2])
+        assert not is_path(graph, [0, 1, 0])
+        assert not is_path(graph, [])
+
+    def test_simple_paths_enumeration(self):
+        square = Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 0)])
+        paths = list(simple_paths(square, 0, 2))
+        assert sorted(paths) == [[0, 1, 2], [0, 3, 2]]
+
+    def test_simple_paths_respects_limit_and_length(self):
+        square = Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert len(list(simple_paths(square, 0, 2, limit=1))) == 1
+        assert list(simple_paths(square, 0, 2, max_length=1)) == []
+
+    def test_nonredundant_and_minimum_paths(self):
+        # a 6-cycle with one chord: the long way around is nonredundant but
+        # not minimum (this is exactly the Lemma 4 phenomenon).
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 4)])
+        long_path = [2, 3, 4, 5, 0]
+        short_path = [2, 1, 0]
+        assert is_nonredundant_path(graph, long_path)
+        assert not is_minimum_path(graph, long_path)
+        assert is_minimum_path(graph, short_path)
+        # the long way between the chord's endpoints is redundant: the chord
+        # itself survives in the induced subgraph
+        assert not is_nonredundant_path(graph, [1, 2, 3, 4])
+
+    def test_redundant_path_detected(self):
+        graph = Graph(edges=[("a", "b"), ("b", "c"), ("a", "c")])
+        assert not is_nonredundant_path(graph, ["a", "b", "c"])
+
+    def test_nonredundant_paths_enumeration(self):
+        square = Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 0)])
+        found = list(nonredundant_paths(square, 0, 2))
+        assert sorted(found) == [[0, 1, 2], [0, 3, 2]]
