@@ -1,12 +1,29 @@
-"""E14/E16 -- the database motivation: query interpretation and semijoin programs."""
+"""E14/E16 -- the database motivation: query interpretation and semijoin programs.
 
+Also home of the batched-engine headline benchmark: ``batch_interpret``
+over >= 100 random queries on a >= 500-vertex (6,2)-chordal schema vs. the
+per-query ``MinimalConnectionFinder`` loop.  Set ``REPRO_BENCH_SMOKE=1``
+to run a scaled-down smoke variant (used by CI to catch perf-path import
+breakage without paying the full measurement).
+"""
+
+import os
 import random
+from time import perf_counter
 
 from conftest import record
 
+from repro.core import MinimalConnectionFinder
 from repro.datasets.figures import figure1_query, figure1_relational_schema
-from repro.datasets.generators import random_alpha_acyclic_schema
+from repro.datasets.generators import (
+    random_62_chordal_graph,
+    random_alpha_acyclic_schema,
+    random_terminals,
+)
+from repro.engine import InterpretationEngine
 from repro.semantic import QueryInterpreter, plain_join_plan, semijoin_program
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 
 
 def test_figure1_query_interpretation(benchmark):
@@ -57,3 +74,72 @@ def test_semijoin_program_matches_plain_join(benchmark):
 
     rows = benchmark(run)
     record(benchmark, experiment="E16", join_result_rows=rows, relations=len(names))
+
+
+def _batch_scenario():
+    """A large chordal schema plus a stream of random 3-terminal queries.
+
+    Full mode: >= 500 vertices, 100 queries (the acceptance scenario).
+    Smoke mode: a 20-block schema and 10 queries, same code paths.
+    """
+    blocks, n_queries = (20, 10) if SMOKE else (170, 100)
+    graph = random_62_chordal_graph(blocks, rng=1985)
+    rng = random.Random(7)
+    queries = [random_terminals(graph, 3, rng=rng) for _ in range(n_queries)]
+    return graph, queries
+
+
+def test_batch_interpret_beats_per_query_loop(benchmark):
+    """E16+: batch_interpret amortises schema precomputation over many queries.
+
+    Three timings are recorded:
+
+    * ``loop_seconds``   -- per-query ``MinimalConnectionFinder`` calls on an
+      already-classified finder (the strongest per-query baseline);
+    * ``batch_cold_seconds`` -- one ``batch_interpret`` on a fresh engine,
+      i.e. including the one-off classification + indexing of the schema;
+    * the pytest-benchmark timing -- warm batches on the cached context.
+
+    The acceptance bar is cold-batch >= 3x faster than the loop; warm
+    batches are orders of magnitude faster still.  Every query's tree cost
+    is asserted equal between the two paths.
+    """
+    graph, queries = _batch_scenario()
+    assert graph.number_of_vertices() >= (40 if SMOKE else 500)
+    assert len(queries) >= (10 if SMOKE else 100)
+
+    finder = MinimalConnectionFinder(graph)
+    _ = finder.report  # classify once, outside the timed loop
+    start = perf_counter()
+    per_query = [finder.minimal_connection(q) for q in queries]
+    loop_seconds = perf_counter() - start
+
+    engine = InterpretationEngine()
+    start = perf_counter()
+    batched = engine.batch_interpret(graph, queries)
+    batch_cold_seconds = perf_counter() - start
+
+    assert [s.vertex_count() for s in per_query] == [
+        s.vertex_count() for s in batched
+    ], "batched engine disagrees with the per-query finder"
+
+    warm = benchmark(engine.batch_interpret, graph, queries)
+    assert [s.vertex_count() for s in warm] == [s.vertex_count() for s in batched]
+
+    speedup_cold = loop_seconds / batch_cold_seconds
+    record(
+        benchmark,
+        experiment="E16+",
+        vertices=graph.number_of_vertices(),
+        edges=graph.number_of_edges(),
+        queries=len(queries),
+        loop_seconds=round(loop_seconds, 3),
+        batch_cold_seconds=round(batch_cold_seconds, 3),
+        speedup_cold=round(speedup_cold, 2),
+        smoke=SMOKE,
+    )
+    if not SMOKE:
+        assert speedup_cold >= 3.0, (
+            f"batch_interpret must be >= 3x faster than the per-query loop, "
+            f"got {speedup_cold:.2f}x"
+        )

@@ -1,4 +1,12 @@
-"""Setup shim for environments without PEP 517 build isolation support."""
-from setuptools import setup
+"""Setup shim for environments without PEP 517 build isolation support.
 
-setup()
+All project metadata lives in ``pyproject.toml``; the explicit package
+arguments below let legacy ``python setup.py``-style installs resolve the
+``src`` layout without a PEP 517 frontend.
+"""
+from setuptools import find_packages, setup
+
+setup(
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

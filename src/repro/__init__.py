@@ -16,7 +16,11 @@ The package provides:
 * the semantic-data-model layer of the motivation -- entity-relationship
   and relational schemas, query interpretation, join plans
   (``repro.semantic``),
-* named figure instances and workload generators (``repro.datasets``).
+* named figure instances and workload generators (``repro.datasets``),
+* the batched interpretation engine -- solver registry, query planner,
+  schema-level precomputation cache and ``batch_interpret`` -- built on
+  the integer-indexed graph backend (``repro.engine``,
+  ``repro.graphs.indexed``).
 
 The most common entry points are re-exported here; see ``README.md`` for a
 guided tour and ``DESIGN.md`` for the experiment index.
@@ -53,7 +57,15 @@ from repro.exceptions import (
     ReproError,
     ValidationError,
 )
-from repro.graphs import BipartiteGraph, Graph
+from repro.engine import InterpretationEngine, batch_interpret
+from repro.graphs import (
+    BipartiteGraph,
+    Graph,
+    GraphIndex,
+    IndexedGraph,
+    from_indexed,
+    to_indexed,
+)
 from repro.hypergraphs import (
     Hypergraph,
     acyclicity_degree,
@@ -79,7 +91,7 @@ from repro.steiner import (
     steiner_tree_dreyfus_wagner,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BipartiteGraph",
@@ -90,8 +102,11 @@ __all__ = [
     "ERSchema",
     "Graph",
     "GraphError",
+    "GraphIndex",
     "Hypergraph",
     "HypergraphError",
+    "IndexedGraph",
+    "InterpretationEngine",
     "MinimalConnectionFinder",
     "NotApplicableError",
     "QueryInterpreter",
@@ -102,8 +117,10 @@ __all__ = [
     "SteinerSolution",
     "ValidationError",
     "acyclicity_degree",
+    "batch_interpret",
     "chordality_class",
     "classify_bipartite_graph",
+    "from_indexed",
     "is_41_chordal_bipartite",
     "is_61_chordal_bipartite",
     "is_62_chordal_bipartite",
@@ -127,5 +144,6 @@ __all__ = [
     "steiner_algorithm2",
     "steiner_tree_bruteforce",
     "steiner_tree_dreyfus_wagner",
+    "to_indexed",
     "__version__",
 ]

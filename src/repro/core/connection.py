@@ -77,6 +77,7 @@ class MinimalConnectionFinder:
         self._exact_terminal_limit = exact_terminal_limit
         self._exact_vertex_limit = exact_vertex_limit
         self._report: Optional[ChordalityReport] = None
+        self._engine = None  # lazily built by batch(), then reused
 
     # ------------------------------------------------------------------
     # classification
@@ -105,7 +106,12 @@ class MinimalConnectionFinder:
         """
         terminal_list = sorted(set(terminals), key=repr)
         if self.report.steiner_tractable():
-            return steiner_algorithm2(self._graph, terminal_list, check=False)
+            # the cached report already answers Algorithm 2's precondition
+            # (this branch is gated on it), so skip the per-query
+            # (6,2)-chordality re-classification
+            return steiner_algorithm2(
+                self._graph, terminal_list, check=False, applicable=True
+            )
         if len(terminal_list) <= self._exact_terminal_limit:
             return steiner_tree_dreyfus_wagner(self._graph, terminal_list)
         optional = self._graph.number_of_vertices() - len(terminal_list)
@@ -129,7 +135,11 @@ class MinimalConnectionFinder:
         if self.report.pseudo_steiner_tractable(side):
             try:
                 return pseudo_steiner_algorithm1(
-                    self._graph, terminal_list, side=side, check=True
+                    self._graph,
+                    terminal_list,
+                    side=side,
+                    check=True,
+                    applicable=True if getattr(self.report, f"v{side}_alpha") else None,
                 )
             except NotApplicableError:
                 # the global class test passed but the terminals' component is
@@ -141,6 +151,36 @@ class MinimalConnectionFinder:
         solution = kou_markowsky_berman(self._graph, terminal_list)
         solution.side = side
         return solution
+
+    # ------------------------------------------------------------------
+    # batched interpretation (delegates to repro.engine)
+    # ------------------------------------------------------------------
+    def batch(
+        self,
+        queries: Iterable[Iterable[Vertex]],
+        objective: str = "steiner",
+        side: int = 2,
+    ) -> List[SteinerSolution]:
+        """Answer many queries at once through the batched engine.
+
+        The engine reuses this finder's cached classification and builds
+        the schema-level precomputations (indexed backend, BFS rows,
+        elimination orderings) once, so the per-query cost collapses to the
+        elimination inner loop.  Results carry the same objective values as
+        the corresponding per-query calls (:meth:`minimal_connection` /
+        :meth:`minimal_side_connection`).
+        """
+        from repro.engine.batch import InterpretationEngine
+
+        if self._engine is None:
+            self._engine = InterpretationEngine(
+                exact_terminal_limit=self._exact_terminal_limit,
+                exact_vertex_limit=self._exact_vertex_limit,
+            )
+            self._engine.seed_report(self._graph, self.report)
+        return self._engine.batch_interpret(
+            self._graph, queries, objective=objective, side=side
+        )
 
     # ------------------------------------------------------------------
     # ranked enumeration (interactive disambiguation)

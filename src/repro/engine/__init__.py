@@ -1,0 +1,45 @@
+"""Batched interpretation engine: registry, planner, schema cache, batch API.
+
+This package is the scaling layer on top of the paper's algorithms.  The
+architecture, in one picture::
+
+    batch_interpret(schema, queries)
+        |
+        v
+    SchemaCache (LRU, structural fingerprints)
+        |           one SchemaContext per schema:
+        v           IndexedGraph + GraphIndex, ChordalityReport,
+    SchemaContext   BFS rows, Lemma 1 orderings, component plans
+        |
+        v
+    plan_query  ->  QueryPlan (solver name + fallbacks, finder-compatible)
+        |
+        v
+    SolverRegistry  ->  chordal-elimination / algorithm1-indexed /
+                        dreyfus-wagner / bruteforce / kmb / ...
+
+See :mod:`repro.engine.batch` for when batching beats the per-query
+:class:`~repro.core.connection.MinimalConnectionFinder` calls, and
+``tests/test_differential_engine.py`` for the harness pinning both paths
+to each other and to the exhaustive oracles.
+"""
+
+from repro.engine.batch import InterpretationEngine, batch_interpret, default_engine
+from repro.engine.cache import LRUCache, SchemaCache, SchemaContext, schema_fingerprint
+from repro.engine.planner import QueryPlan, plan_query
+from repro.engine.registry import InstanceClass, SolverRegistry, default_registry
+
+__all__ = [
+    "InstanceClass",
+    "InterpretationEngine",
+    "LRUCache",
+    "QueryPlan",
+    "SchemaCache",
+    "SchemaContext",
+    "SolverRegistry",
+    "batch_interpret",
+    "default_engine",
+    "default_registry",
+    "plan_query",
+    "schema_fingerprint",
+]

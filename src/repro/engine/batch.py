@@ -1,0 +1,220 @@
+"""The batched interpretation engine (``batch_interpret``).
+
+The paper's motivating scenario is interactive: one user, one query.  At
+production scale the same schema serves streams of queries, and the
+per-query API wastes almost all of its time recomputing schema-level
+facts -- the Theorem 1 classification, BFS rows, Lemma 1 orderings.  The
+engine amortises them:
+
+* a :class:`~repro.engine.cache.SchemaCache` keeps one
+  :class:`~repro.engine.cache.SchemaContext` per schema (LRU, structural
+  fingerprint keys);
+* a :class:`~repro.engine.planner.plan_query` call picks a solver from the
+  :class:`~repro.engine.registry.SolverRegistry` using the cached class;
+* the solver runs on the integer-indexed fast lane and returns a
+  :class:`~repro.steiner.problem.SteinerSolution` on the original graph.
+
+``batch_interpret(schema, queries)`` is the one-call entry point.  It
+accepts a :class:`~repro.graphs.bipartite.BipartiteGraph`, a
+:class:`~repro.semantic.relational.RelationalSchema` or an
+:class:`~repro.semantic.er_model.ERSchema`, plus an iterable of terminal
+sets, and returns one solution per query with the exact same objective
+values as the per-query :class:`~repro.core.connection.MinimalConnectionFinder`
+calls.  Batching wins whenever the number of queries outweighs the one-off
+classification cost -- in the benchmarks a 500-vertex chordal schema with
+100 queries runs two orders of magnitude faster than the per-query loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.classification import ChordalityReport
+from repro.engine.cache import SchemaCache, SchemaContext
+from repro.engine.planner import QueryPlan, plan_query
+from repro.engine.registry import SolverRegistry, default_registry
+from repro.exceptions import NotApplicableError, ValidationError
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.graph import Graph
+from repro.steiner.problem import SteinerSolution
+
+
+class InterpretationEngine:
+    """Batched minimal-connection engine over cached schema contexts.
+
+    Parameters
+    ----------
+    registry:
+        Solver registry; defaults to :func:`~repro.engine.registry.default_registry`.
+    cache_size:
+        Number of schema contexts kept in the LRU.
+    exact_terminal_limit / exact_vertex_limit:
+        Same dispatch thresholds as :class:`~repro.core.connection.MinimalConnectionFinder`.
+
+    Examples
+    --------
+    >>> from repro.graphs import BipartiteGraph
+    >>> g = BipartiteGraph(left=["A", "B"], right=[1], edges=[("A", 1), ("B", 1)])
+    >>> engine = InterpretationEngine()
+    >>> [s.vertex_count() for s in engine.batch_interpret(g, [["A", "B"], ["A"]])]
+    [3, 1]
+    """
+
+    def __init__(
+        self,
+        registry: Optional[SolverRegistry] = None,
+        cache_size: int = 16,
+        exact_terminal_limit: int = 8,
+        exact_vertex_limit: int = 18,
+    ) -> None:
+        self.registry = registry if registry is not None else default_registry()
+        self._cache = SchemaCache(maxsize=cache_size)
+        self._exact_terminal_limit = exact_terminal_limit
+        self._exact_vertex_limit = exact_vertex_limit
+
+    # ------------------------------------------------------------------
+    # contexts
+    # ------------------------------------------------------------------
+    def context_for(self, schema) -> SchemaContext:
+        """Return the cached :class:`SchemaContext` for ``schema`` (building it once)."""
+        return self._cache.get_or_build(self._resolve_schema(schema))
+
+    def seed_report(self, schema, report: ChordalityReport) -> None:
+        """Adopt an externally computed classification for ``schema``."""
+        graph = self._resolve_schema(schema)
+        self._cache.get_or_build(graph, report=report)
+
+    def _resolve_schema(self, schema) -> BipartiteGraph:
+        if isinstance(schema, BipartiteGraph):
+            return schema
+        if isinstance(schema, Graph):
+            return BipartiteGraph.from_graph(schema)
+        schema_graph = getattr(schema, "schema_graph", None)
+        if callable(schema_graph):  # RelationalSchema
+            return schema_graph()
+        bipartite_graph = getattr(schema, "bipartite_graph", None)
+        if callable(bipartite_graph):  # ERSchema
+            return bipartite_graph()
+        raise ValidationError(
+            "schema must be a BipartiteGraph, Graph, RelationalSchema or ERSchema"
+        )
+
+    # ------------------------------------------------------------------
+    # single query
+    # ------------------------------------------------------------------
+    def plan(self, schema, terminals, objective: str = "steiner", side: int = 2) -> QueryPlan:
+        """Return the :class:`QueryPlan` the engine would use for one query."""
+        return plan_query(
+            self.context_for(schema),
+            terminals,
+            objective=objective,
+            side=side,
+            exact_terminal_limit=self._exact_terminal_limit,
+            exact_vertex_limit=self._exact_vertex_limit,
+        )
+
+    def interpret(
+        self, schema, terminals, objective: str = "steiner", side: int = 2
+    ) -> SteinerSolution:
+        """Answer a single query through the cached fast path.
+
+        Equivalent (same objective value) to
+        ``MinimalConnectionFinder(schema).minimal_connection(terminals)``
+        for ``objective="steiner"`` and to ``minimal_side_connection`` for
+        ``objective="side"``.
+        """
+        terminals = list(terminals)  # planning and solving both iterate
+        context = self.context_for(schema)
+        plan = plan_query(
+            context,
+            terminals,
+            objective=objective,
+            side=side,
+            exact_terminal_limit=self._exact_terminal_limit,
+            exact_vertex_limit=self._exact_vertex_limit,
+        )
+        return self._execute(context, plan, terminals, side)
+
+    def _execute(
+        self, context: SchemaContext, plan: QueryPlan, terminals, side: int
+    ) -> SteinerSolution:
+        names = (plan.solver, *plan.fallbacks)
+        last_error: Optional[NotApplicableError] = None
+        for position, name in enumerate(names):
+            solver = self.registry.get(name)
+            kwargs: Dict = {}
+            if plan.objective == "side":
+                kwargs["side"] = side
+            try:
+                solution = solver(context, terminals, **kwargs)
+            except NotApplicableError as error:
+                last_error = error
+                continue
+            solution.metadata.setdefault("plan", plan.reason)
+            solution.metadata.setdefault("solver", name)
+            if position > 0:
+                solution.metadata.setdefault("fallback_from", plan.solver)
+            return solution
+        raise last_error if last_error is not None else NotApplicableError(
+            "no applicable solver"
+        )
+
+    # ------------------------------------------------------------------
+    # batches
+    # ------------------------------------------------------------------
+    def batch_interpret(
+        self,
+        schema,
+        queries: Iterable[Iterable],
+        objective: str = "steiner",
+        side: int = 2,
+    ) -> List[SteinerSolution]:
+        """Answer many queries over one schema, amortising precomputation.
+
+        The schema is classified and indexed once (or fetched from the
+        LRU); each query then pays only its solver's inner loop.  Results
+        are returned in query order.
+        """
+        context = self.context_for(schema)
+        results: List[SteinerSolution] = []
+        for query in queries:
+            query = list(query)  # planning and solving both iterate
+            results.append(
+                self._execute(
+                    context,
+                    plan_query(
+                        context,
+                        query,
+                        objective=objective,
+                        side=side,
+                        exact_terminal_limit=self._exact_terminal_limit,
+                        exact_vertex_limit=self._exact_vertex_limit,
+                    ),
+                    query,
+                    side,
+                )
+            )
+        return results
+
+
+_DEFAULT_ENGINE: Optional[InterpretationEngine] = None
+
+
+def default_engine() -> InterpretationEngine:
+    """Return the process-wide default engine (lazily constructed)."""
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = InterpretationEngine()
+    return _DEFAULT_ENGINE
+
+
+def batch_interpret(
+    schema,
+    queries: Iterable[Iterable],
+    objective: str = "steiner",
+    side: int = 2,
+) -> List[SteinerSolution]:
+    """Module-level convenience wrapper around the default engine."""
+    return default_engine().batch_interpret(
+        schema, queries, objective=objective, side=side
+    )

@@ -15,6 +15,7 @@ from collections import deque
 from typing import Dict, Iterator, List, Optional, Sequence, Set
 
 from repro.exceptions import GraphError
+from repro.graphs.backend import is_indexed
 from repro.graphs.graph import Graph, Vertex
 from repro.graphs.traversal import bfs_distances, is_connected
 
@@ -22,12 +23,22 @@ from repro.graphs.traversal import bfs_distances, is_connected
 def shortest_path(graph: Graph, source: Vertex, target: Vertex) -> Optional[List[Vertex]]:
     """Return one shortest path from ``source`` to ``target`` or ``None``.
 
-    Ties are broken deterministically (lexicographically by ``repr``).
+    Ties are broken deterministically (lexicographically by ``repr`` on the
+    hashable backend, by ascending id on the indexed backend).
     """
     if source not in graph or target not in graph:
         raise GraphError("both endpoints must belong to the graph")
     if source == target:
         return [source]
+    if is_indexed(graph):
+        parents = graph.bfs_parents(source)
+        if parents[target] < 0:
+            return None
+        walk = [target]
+        while walk[-1] != source:
+            walk.append(parents[walk[-1]])
+        walk.reverse()
+        return walk
     parents: Dict[Vertex, Vertex] = {}
     visited = {source}
     queue = deque([source])

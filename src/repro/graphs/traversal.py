@@ -15,6 +15,7 @@ from collections import deque
 from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.exceptions import GraphError
+from repro.graphs.backend import is_indexed
 from repro.graphs.graph import Graph, Vertex
 
 
@@ -39,9 +40,16 @@ def bfs_distances(graph: Graph, source: Vertex) -> Dict[Vertex, int]:
     """Return the shortest-path distance (number of edges) from ``source``.
 
     Unreachable vertices are absent from the result.
+
+    On the :class:`~repro.graphs.indexed.IndexedGraph` backend the search
+    runs on a dense distance array over CSR rows (the fast lane used by the
+    batched engine); the returned mapping is identical either way.
     """
     if source not in graph:
         raise GraphError(f"source vertex {source!r} is not in the graph")
+    if is_indexed(graph):
+        levels = graph.bfs_levels(source)
+        return {v: d for v, d in enumerate(levels) if d >= 0}
     distances = {source: 0}
     queue = deque([source])
     while queue:

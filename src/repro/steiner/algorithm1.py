@@ -71,6 +71,7 @@ def pseudo_steiner_algorithm1(
     terminals: Iterable[Vertex],
     side: int = 2,
     check: bool = True,
+    applicable: Optional[bool] = None,
 ) -> SteinerSolution:
     """Run Algorithm 1 and return a pseudo-Steiner tree w.r.t. ``V_side``.
 
@@ -91,6 +92,13 @@ def pseudo_steiner_algorithm1(
         ``False`` the algorithm still runs (and still returns *some*
         nonredundant cover) but optimality is no longer guaranteed and the
         returned solution is flagged accordingly.
+    applicable:
+        Optional precomputed answer to the structural precondition.  A
+        whole-graph "``V_side``-chordal and ``V_side``-conformal" verdict is
+        sound here because alpha-acyclicity is preserved by restriction to
+        connected components; callers holding a cached
+        :class:`~repro.core.classification.ChordalityReport` pass it to
+        skip the per-query recognition pass.
 
     Returns
     -------
@@ -109,7 +117,10 @@ def pseudo_steiner_algorithm1(
     component_vertices = component_containing(graph, next(iter(terminal_set)))
     component = graph.subgraph(component_vertices)
 
-    precondition_holds = is_side_chordal_and_conformal(component, side, method="alpha")
+    if applicable is None:
+        precondition_holds = is_side_chordal_and_conformal(component, side, method="alpha")
+    else:
+        precondition_holds = applicable
     if check and not precondition_holds:
         raise NotApplicableError(
             f"the component containing the terminals is not V{side}-chordal "

@@ -39,6 +39,7 @@ def steiner_algorithm2(
     terminals: Iterable[Vertex],
     ordering: Optional[Sequence[Vertex]] = None,
     check: bool = True,
+    applicable: Optional[bool] = None,
 ) -> SteinerSolution:
     """Run Algorithm 2 and return a Steiner tree.
 
@@ -58,14 +59,21 @@ def steiner_algorithm2(
         the graph is not (6,2)-chordal bipartite; when ``False`` the
         procedure still runs and returns a nonredundant cover, flagged as
         not guaranteed optimal.
+    applicable:
+        Optional precomputed answer to "is the graph (6,2)-chordal
+        bipartite?".  Callers that classify the schema once and then issue
+        many queries (:class:`~repro.core.connection.MinimalConnectionFinder`,
+        the batch engine) pass it to skip the per-query re-classification,
+        which otherwise dominates the running time on large schemas.
     """
     instance = SteinerInstance(graph, terminals)
     instance.require_feasible()
     terminal_set = set(instance.terminals)
 
-    applicable = is_bipartite(graph) and is_62_chordal_bipartite(
-        graph if isinstance(graph, BipartiteGraph) else BipartiteGraph.from_graph(graph)
-    )
+    if applicable is None:
+        applicable = is_bipartite(graph) and is_62_chordal_bipartite(
+            graph if isinstance(graph, BipartiteGraph) else BipartiteGraph.from_graph(graph)
+        )
     if check and not applicable:
         raise NotApplicableError(
             "Algorithm 2 requires a (6,2)-chordal bipartite graph"

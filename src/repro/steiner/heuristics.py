@@ -33,7 +33,12 @@ from repro.steiner.problem import (
 
 
 def shortest_path_heuristic(graph: Graph, terminals: Iterable[Vertex]) -> SteinerSolution:
-    """Takahashi-Matsuyama shortest-path heuristic (unit weights)."""
+    """Takahashi-Matsuyama shortest-path heuristic (unit weights).
+
+    Accepts either graph backend: the inner BFS calls dispatch to the
+    integer fast lane when ``graph`` is an
+    :class:`~repro.graphs.indexed.IndexedGraph` (terminals are then ids).
+    """
     instance = SteinerInstance(graph, terminals)
     instance.require_feasible()
     terminal_list = instance.terminal_list()
@@ -70,8 +75,18 @@ def shortest_path_heuristic(graph: Graph, terminals: Iterable[Vertex]) -> Steine
     )
 
 
-def kou_markowsky_berman(graph: Graph, terminals: Iterable[Vertex]) -> SteinerSolution:
-    """Kou-Markowsky-Berman distance-network heuristic (unit weights)."""
+def kou_markowsky_berman(
+    graph: Graph,
+    terminals: Iterable[Vertex],
+    distances: Optional[Dict[Vertex, Dict[Vertex, int]]] = None,
+) -> SteinerSolution:
+    """Kou-Markowsky-Berman distance-network heuristic (unit weights).
+
+    Accepts either graph backend.  ``distances`` optionally supplies
+    precomputed BFS rows ``terminal -> {vertex: distance}`` (at least for
+    every terminal); the batch engine passes its schema-level cache here so
+    the metric closure is not rebuilt for every query.
+    """
     instance = SteinerInstance(graph, terminals)
     instance.require_feasible()
     terminal_list = instance.terminal_list()
@@ -83,9 +98,8 @@ def kou_markowsky_berman(graph: Graph, terminals: Iterable[Vertex]) -> SteinerSo
             optimal=False,
         )
     # 1. metric closure over the terminals
-    distances: Dict[Vertex, Dict[Vertex, int]] = {
-        t: bfs_distances(graph, t) for t in terminal_list
-    }
+    if distances is None:
+        distances = {t: bfs_distances(graph, t) for t in terminal_list}
     # 2. minimum spanning tree of the closure (Prim)
     in_tree = {terminal_list[0]}
     closure_edges: List[Tuple[Vertex, Vertex]] = []

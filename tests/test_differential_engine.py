@@ -1,0 +1,293 @@
+"""Differential testing: indexed backend and engine vs. the originals.
+
+The fast lanes must never change answers.  Every test here cross-checks at
+least two of the following on the *same* random instance:
+
+* the hashable-vertex :class:`~repro.graphs.graph.Graph` algorithms (the
+  seed implementations),
+* the :class:`~repro.graphs.indexed.IndexedGraph` fast lanes,
+* the batched :class:`~repro.engine.batch.InterpretationEngine`,
+* the exhaustive oracles (brute force, Dreyfus-Wagner, nonredundancy
+  predicates).
+
+Instances are drawn from the shared :mod:`strategies` module: random
+chordal graphs (PEO construction), (6,2)-chordal bipartite block trees,
+alpha-acyclic schema graphs and unrestricted bipartite graphs.  Zero
+disagreements is the acceptance bar -- any mismatch is a real bug in one
+of the lanes.
+"""
+
+from hypothesis import given, strategies as st
+
+from strategies import (
+    alpha_schema_graphs,
+    bipartite_graphs,
+    chordal_bipartite_graphs,
+    chordal_graphs,
+    common_settings,
+    connected_graphs,
+    draw_terminals,
+    er_schemas,
+    large_chordal_bipartite_graphs,
+    relational_schemas,
+    small_graphs,
+)
+
+from repro.chordality import is_chordal
+from repro.chordality.lexbfs import lexbfs_elimination_ordering
+from repro.chordality.mcs import mcs_elimination_ordering
+from repro.chordality.peo import is_perfect_elimination_ordering
+from repro.core import MinimalConnectionFinder, is_nonredundant_cover
+from repro.exceptions import NotApplicableError
+from repro.core.covers import greedy_elimination_cover
+from repro.engine import InterpretationEngine, batch_interpret
+from repro.graphs import from_indexed, to_indexed
+from repro.graphs.traversal import vertices_in_same_component
+from repro.semantic import QueryInterpreter
+from repro.steiner import (
+    kou_markowsky_berman,
+    pseudo_steiner_algorithm1,
+    pseudo_steiner_bruteforce,
+    shortest_path_heuristic,
+    steiner_tree_bruteforce,
+    steiner_tree_dreyfus_wagner,
+)
+
+SETTINGS = common_settings(max_examples=25)
+
+
+# ----------------------------------------------------------------------
+# the mapping layer is lossless and protocol-faithful
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(st.one_of(small_graphs(), bipartite_graphs()))
+def test_roundtrip_is_lossless(graph):
+    indexed, index = to_indexed(graph)
+    assert from_indexed(indexed, index) == graph
+    assert indexed.number_of_vertices() == graph.number_of_vertices()
+    assert indexed.number_of_edges() == graph.number_of_edges()
+
+
+@SETTINGS
+@given(small_graphs())
+def test_indexed_protocol_matches_graph(graph):
+    indexed, index = to_indexed(graph)
+    for vertex in graph.vertices():
+        vid = index.ids[vertex]
+        assert index.decode_set(indexed.neighbors(vid)) == graph.neighbors(vertex)
+        assert indexed.degree(vid) == graph.degree(vertex)
+    for u in graph.vertices():
+        for v in graph.vertices():
+            if u != v:
+                assert indexed.has_edge(index.ids[u], index.ids[v]) == graph.has_edge(u, v)
+    # induced subgraphs agree through the mapping
+    some = sorted(graph.vertices(), key=repr)[: max(1, len(graph) // 2)]
+    induced = graph.subgraph(some)
+    indexed_induced = indexed.subgraph(index.encode(some))
+    assert {
+        frozenset(index.decode(edge)) for edge in indexed_induced.edge_set()
+    } == induced.edge_set()
+
+
+# ----------------------------------------------------------------------
+# chordality machinery: both backends, identical verdicts
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(st.one_of(small_graphs(), chordal_graphs(), connected_graphs()))
+def test_chordality_verdicts_agree_across_backends(graph):
+    indexed, _ = to_indexed(graph)
+    for method in ("mcs", "lexbfs", "greedy"):
+        assert is_chordal(graph, method=method) == is_chordal(indexed, method=method)
+
+
+@SETTINGS
+@given(chordal_graphs())
+def test_indexed_orderings_are_peos_on_chordal_graphs(graph):
+    indexed, _ = to_indexed(graph)
+    for ordering in (
+        mcs_elimination_ordering(indexed),
+        lexbfs_elimination_ordering(indexed),
+    ):
+        assert is_perfect_elimination_ordering(indexed, ordering)
+
+
+@SETTINGS
+@given(small_graphs(), st.randoms(use_true_random=False))
+def test_peo_check_agrees_on_random_orderings(graph, rng):
+    indexed, index = to_indexed(graph)
+    ordering = list(range(indexed.n))
+    rng.shuffle(ordering)
+    labels = index.decode(ordering)
+    assert is_perfect_elimination_ordering(graph, labels) == (
+        is_perfect_elimination_ordering(indexed, ordering)
+    )
+
+
+# ----------------------------------------------------------------------
+# elimination covers: identical sets on both backends
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(st.data(), st.one_of(bipartite_graphs(), chordal_bipartite_graphs()))
+def test_elimination_cover_identical_across_backends(data, graph):
+    terminals = draw_terminals(data.draw, graph, max_terminals=3)
+    if not terminals or not vertices_in_same_component(graph, terminals):
+        return
+    indexed, index = to_indexed(graph)
+    for batches in (False, True):
+        reference = greedy_elimination_cover(graph, terminals, removal_batches=batches)
+        fast = greedy_elimination_cover(
+            indexed, index.encode(terminals), removal_batches=batches
+        )
+        assert index.decode_set(fast) == reference
+
+
+# ----------------------------------------------------------------------
+# heuristics and exact solvers run identically on the indexed backend
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(st.data(), connected_graphs(min_vertices=2, max_vertices=8))
+def test_solvers_match_across_backends(data, graph):
+    terminals = draw_terminals(data.draw, graph, min_terminals=2, max_terminals=3)
+    indexed, index = to_indexed(graph)
+    ids = index.encode(terminals)
+    dw_graph = steiner_tree_dreyfus_wagner(graph, terminals)
+    dw_indexed = steiner_tree_dreyfus_wagner(indexed, ids)
+    assert dw_graph.vertex_count() == dw_indexed.vertex_count()
+    kmb_graph = kou_markowsky_berman(graph, terminals)
+    kmb_indexed = kou_markowsky_berman(indexed, ids)
+    kmb_indexed.validate()
+    assert kmb_graph.is_valid() and kmb_indexed.is_valid()
+    sph_indexed = shortest_path_heuristic(indexed, ids)
+    sph_indexed.validate()
+    # exact optimum is a lower bound for both heuristics on both backends
+    optimum = dw_graph.vertex_count()
+    assert kmb_indexed.vertex_count() >= optimum
+    assert sph_indexed.vertex_count() >= optimum
+
+
+# ----------------------------------------------------------------------
+# engine vs. per-query finder vs. oracles
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(st.data(), st.one_of(bipartite_graphs(), chordal_bipartite_graphs()))
+def test_engine_matches_finder_and_oracle_steiner(data, graph):
+    terminals = draw_terminals(data.draw, graph, max_terminals=3)
+    if not terminals or not vertices_in_same_component(graph, terminals):
+        return
+    finder = MinimalConnectionFinder(graph)
+    per_query = finder.minimal_connection(terminals)
+    engine = InterpretationEngine()
+    batched = engine.interpret(graph, terminals)
+    batched.validate()
+    assert batched.vertex_count() == per_query.vertex_count()
+    assert is_nonredundant_cover(
+        graph, batched.metadata.get("cover", batched.tree.vertices()), terminals
+    ) or batched.metadata.get("solver") in ("kmb",)
+    oracle = steiner_tree_bruteforce(graph, terminals)
+    if per_query.optimal:
+        assert batched.vertex_count() == oracle.vertex_count()
+    else:
+        assert batched.vertex_count() >= oracle.vertex_count()
+
+
+@SETTINGS
+@given(st.data(), st.one_of(bipartite_graphs(), alpha_schema_graphs()))
+def test_engine_matches_finder_and_oracle_side(data, graph):
+    terminals = draw_terminals(data.draw, graph, max_terminals=3)
+    if not terminals or not vertices_in_same_component(graph, terminals):
+        return
+    finder = MinimalConnectionFinder(graph)
+    per_query = finder.minimal_side_connection(terminals, side=2)
+    engine = InterpretationEngine()
+    batched = engine.interpret(graph, terminals, objective="side", side=2)
+    batched.validate()
+    assert batched.side_count(2) == per_query.side_count(2)
+    if per_query.optimal:
+        oracle = pseudo_steiner_bruteforce(graph, terminals, 2)
+        assert batched.side_count(2) == oracle.side_count(2)
+
+
+@SETTINGS
+@given(st.data(), alpha_schema_graphs())
+def test_engine_algorithm1_cover_identical_to_generic(data, graph):
+    """On applicable schemas the engine replays Algorithm 1 exactly."""
+    terminals = draw_terminals(data.draw, graph, max_terminals=3)
+    if not terminals or not vertices_in_same_component(graph, terminals):
+        return
+    try:
+        generic = pseudo_steiner_algorithm1(graph, terminals, side=2, check=True)
+    except NotApplicableError:
+        return
+    engine = InterpretationEngine()
+    batched = engine.interpret(graph, terminals, objective="side", side=2)
+    if batched.metadata.get("solver") == "algorithm1-indexed":
+        assert batched.metadata["cover"] == generic.metadata["cover"]
+
+
+# ----------------------------------------------------------------------
+# batching is faithful
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(st.data(), large_chordal_bipartite_graphs(min_blocks=3, max_blocks=8))
+def test_batch_results_equal_per_query_results(data, graph):
+    queries = [
+        draw_terminals(data.draw, graph, min_terminals=2, max_terminals=3)
+        for _ in range(4)
+    ]
+    engine = InterpretationEngine()
+    batch = engine.batch_interpret(graph, queries)
+    finder = MinimalConnectionFinder(graph)
+    for query, solution in zip(queries, batch):
+        solution.validate()
+        assert solution.optimal
+        assert solution.vertex_count() == finder.minimal_connection(query).vertex_count()
+
+
+@SETTINGS
+@given(st.data(), large_chordal_bipartite_graphs(min_blocks=2, max_blocks=6))
+def test_finder_batch_bridges_to_engine(data, graph):
+    """``MinimalConnectionFinder.batch`` returns the finder's own answers."""
+    queries = [
+        draw_terminals(data.draw, graph, min_terminals=2, max_terminals=3)
+        for _ in range(3)
+    ]
+    finder = MinimalConnectionFinder(graph)
+    batch = finder.batch(queries)
+    for query, solution in zip(queries, batch):
+        assert solution.vertex_count() == finder.minimal_connection(query).vertex_count()
+    side_batch = finder.batch(queries, objective="side", side=2)
+    for query, solution in zip(queries, side_batch):
+        assert solution.side_count(2) == finder.minimal_side_connection(
+            query, side=2
+        ).side_count(2)
+
+
+@SETTINGS
+@given(st.data(), relational_schemas(max_relations=5))
+def test_batch_interpret_on_relational_schemas(data, schema):
+    graph = schema.schema_graph()
+    interpreter = QueryInterpreter(schema)
+    queries = [
+        draw_terminals(data.draw, graph, min_terminals=2, max_terminals=3)
+        for _ in range(3)
+    ]
+    batch = batch_interpret(schema, queries)
+    for query, solution in zip(queries, batch):
+        solution.validate()
+        expected = interpreter.minimal_interpretation(query).solution
+        assert solution.vertex_count() == expected.vertex_count()
+
+
+@SETTINGS
+@given(st.data(), er_schemas())
+def test_batch_interpret_on_er_schemas(data, schema):
+    graph = schema.bipartite_graph()
+    queries = [
+        draw_terminals(data.draw, graph, min_terminals=2, max_terminals=3)
+        for _ in range(3)
+    ]
+    finder = MinimalConnectionFinder(graph)
+    batch = batch_interpret(schema, queries)
+    for query, solution in zip(queries, batch):
+        solution.validate()
+        assert solution.vertex_count() == finder.minimal_connection(query).vertex_count()

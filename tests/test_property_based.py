@@ -4,11 +4,22 @@ These complement the example-based tests with randomised structural
 invariants: the two implementations of every recognition problem agree, the
 polynomial algorithms match the exhaustive baselines, and the elimination
 procedures always produce nonredundant covers.
+
+The instance generators live in :mod:`strategies` and are shared with the
+differential engine harness (``test_differential_engine.py``).
 """
 
 import random
 
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import given, strategies as st
+
+from strategies import (
+    COMMON_SETTINGS,
+    bipartite_graphs,
+    chordal_graphs,
+    hypergraphs,
+    small_graphs,
+)
 
 from repro.chordality import (
     is_61_chordal_bipartite,
@@ -19,9 +30,8 @@ from repro.chordality import (
 )
 from repro.core import is_nonredundant_cover
 from repro.core.good_ordering import fast_greedy_cover
-from repro.graphs import BipartiteGraph, Graph, is_forest, spanning_tree, is_connected
+from repro.graphs import is_connected, is_forest, spanning_tree
 from repro.hypergraphs import (
-    Hypergraph,
     hypergraph_of_side,
     is_alpha_acyclic,
     is_berge_acyclic,
@@ -36,55 +46,6 @@ from repro.steiner import (
     steiner_algorithm2,
     steiner_tree_bruteforce,
 )
-
-COMMON_SETTINGS = settings(
-    max_examples=30,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
-)
-
-
-# ----------------------------------------------------------------------
-# strategies
-# ----------------------------------------------------------------------
-@st.composite
-def bipartite_graphs(draw, max_left=4, max_right=4):
-    n_left = draw(st.integers(min_value=1, max_value=max_left))
-    n_right = draw(st.integers(min_value=1, max_value=max_right))
-    left = [f"l{i}" for i in range(n_left)]
-    right = [f"r{j}" for j in range(n_right)]
-    graph = BipartiteGraph(left=left, right=right)
-    for u in left:
-        for v in right:
-            if draw(st.booleans()):
-                graph.add_edge(u, v)
-    return graph
-
-
-@st.composite
-def hypergraphs(draw, max_nodes=5, max_edges=5):
-    n = draw(st.integers(min_value=1, max_value=max_nodes))
-    m = draw(st.integers(min_value=1, max_value=max_edges))
-    nodes = [f"n{i}" for i in range(n)]
-    hypergraph = Hypergraph(nodes=nodes)
-    for index in range(m):
-        members = draw(
-            st.sets(st.sampled_from(nodes), min_size=1, max_size=min(4, n))
-        )
-        hypergraph.add_edge(members, label=f"e{index}")
-    return hypergraph
-
-
-@st.composite
-def small_graphs(draw, max_vertices=7):
-    n = draw(st.integers(min_value=1, max_value=max_vertices))
-    graph = Graph(vertices=range(n))
-    for i in range(n):
-        for j in range(i + 1, n):
-            if draw(st.booleans()):
-                graph.add_edge(i, j)
-    return graph
-
 
 # ----------------------------------------------------------------------
 # hypergraph invariants
@@ -139,6 +100,14 @@ def test_chordality_methods_agree(graph):
         == is_chordal(graph, method="lexbfs")
         == is_chordal(graph, method="greedy")
     )
+
+
+@COMMON_SETTINGS
+@given(chordal_graphs())
+def test_peo_construction_yields_chordal_graphs(graph):
+    """The PEO-construction strategy only ever produces chordal graphs."""
+    assert is_chordal(graph, method="mcs")
+    assert is_chordal(graph, method="greedy")
 
 
 @COMMON_SETTINGS
