@@ -10,6 +10,7 @@ schema graphs.
 import random
 
 import pytest
+
 from conftest import record
 
 from repro.datasets.generators import (

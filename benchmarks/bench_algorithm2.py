@@ -10,6 +10,7 @@ problem on (6,1)-chordal graphs.
 import random
 
 import pytest
+
 from conftest import record
 
 from repro.datasets.figures import figure3c_witness

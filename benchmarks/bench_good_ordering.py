@@ -8,13 +8,13 @@ is good.
 """
 
 import pytest
+
 from conftest import record
 
 from repro.core import (
     minimum_cover_size,
     sample_orderings_not_good,
     verify_case_exhaustively,
-    verify_no_good_ordering,
 )
 from repro.core.good_ordering import fast_greedy_cover
 from repro.datasets.figures import figure11_cases, figure11_graph

@@ -10,6 +10,7 @@ answers the original X3C question.
 import time
 
 import pytest
+
 from conftest import record
 
 from repro.steiner import (

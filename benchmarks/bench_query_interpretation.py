@@ -13,7 +13,7 @@ from time import perf_counter
 
 from conftest import record
 
-from repro.core import MinimalConnectionFinder
+from repro.api import ConnectionService
 from repro.datasets.figures import figure1_query, figure1_relational_schema
 from repro.datasets.generators import (
     random_62_chordal_graph,
@@ -22,6 +22,7 @@ from repro.datasets.generators import (
 )
 from repro.engine import InterpretationEngine
 from repro.semantic import QueryInterpreter, plain_join_plan, semijoin_program
+from repro.steiner import steiner_algorithm2
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 
@@ -94,8 +95,11 @@ def test_batch_interpret_beats_per_query_loop(benchmark):
 
     Three timings are recorded:
 
-    * ``loop_seconds``   -- per-query ``MinimalConnectionFinder`` calls on an
-      already-classified finder (the strongest per-query baseline);
+    * ``loop_seconds``   -- per-query ``steiner_algorithm2`` calls with the
+      classification hoisted out (the paper-faithful per-query path; this
+      is what ``MinimalConnectionFinder`` dispatched inline before the
+      engine existed -- the finder itself now delegates to the engine, so
+      the raw algorithm is the honest baseline);
     * ``batch_cold_seconds`` -- one ``batch_interpret`` on a fresh engine,
       i.e. including the one-off classification + indexing of the schema;
     * the pytest-benchmark timing -- warm batches on the cached context.
@@ -108,10 +112,10 @@ def test_batch_interpret_beats_per_query_loop(benchmark):
     assert graph.number_of_vertices() >= (40 if SMOKE else 500)
     assert len(queries) >= (10 if SMOKE else 100)
 
-    finder = MinimalConnectionFinder(graph)
-    _ = finder.report  # classify once, outside the timed loop
     start = perf_counter()
-    per_query = [finder.minimal_connection(q) for q in queries]
+    per_query = [
+        steiner_algorithm2(graph, q, check=False, applicable=True) for q in queries
+    ]
     loop_seconds = perf_counter() - start
 
     engine = InterpretationEngine()
@@ -143,3 +147,55 @@ def test_batch_interpret_beats_per_query_loop(benchmark):
             f"batch_interpret must be >= 3x faster than the per-query loop, "
             f"got {speedup_cold:.2f}x"
         )
+
+
+def test_service_facade_overhead(benchmark):
+    """E16+: the typed façade must be nearly free on the warm path.
+
+    ``ConnectionService.batch`` wraps the engine's plan/execute loop in
+    request normalisation, provenance records and wall-clock stamps; the
+    contract is that this bookkeeping adds < 5% latency over calling the
+    engine directly on a warm schema cache (smoke mode uses a loose 50%
+    bar -- tiny instances make the ratio noise-dominated).
+    """
+    graph, queries = _batch_scenario()
+    service = ConnectionService(schema=graph)
+    engine = service.engine  # shared engine: identical warm context
+
+    # warm the schema context and both code paths
+    engine.batch_interpret(graph, queries)
+    service.batch(queries)
+
+    def best_of(fn, repeats=5):
+        timings = []
+        for _ in range(repeats):
+            start = perf_counter()
+            fn()
+            timings.append(perf_counter() - start)
+        return min(timings)
+
+    engine_seconds = best_of(lambda: engine.batch_interpret(graph, queries))
+    service_seconds = best_of(lambda: service.batch(queries))
+
+    results = benchmark(service.batch, queries)
+    solutions = engine.batch_interpret(graph, queries)
+    assert [r.cost for r in results] == [s.vertex_count() for s in solutions], (
+        "the façade changed an answer"
+    )
+    assert all(r.provenance.cache_hit for r in results)
+
+    overhead = service_seconds / engine_seconds - 1.0
+    record(
+        benchmark,
+        experiment="E16+",
+        queries=len(queries),
+        engine_warm_seconds=round(engine_seconds, 4),
+        service_warm_seconds=round(service_seconds, 4),
+        facade_overhead_pct=round(overhead * 100, 2),
+        smoke=SMOKE,
+    )
+    bar = 0.50 if SMOKE else 0.05
+    assert overhead < bar, (
+        f"ConnectionService adds {overhead:.1%} latency over the bare engine "
+        f"(warm cache); the bar is {bar:.0%}"
+    )

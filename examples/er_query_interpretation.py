@@ -8,6 +8,10 @@ the WORKS relationship).  This script reproduces the scenario end-to-end:
 ranked interpretations over the schema graph, then execution of the chosen
 interpretation against a tiny database instance.
 
+Since 1.2.0 the interpreter is backed by the :class:`repro.ConnectionService`
+façade: every interpretation carries the service's typed result with an
+optimality guarantee and a provenance record, printed below.
+
 Run with::
 
     python examples/er_query_interpretation.py
@@ -58,6 +62,8 @@ def main() -> None:
 
     best = interpreter.minimal_interpretation(query)
     print("\nminimal interpretation uses no auxiliary object:", not best.auxiliary_objects)
+    print("guarantee:", best.guarantee.value, "| provenance:",
+          best.provenance.to_dict(include_timing=False))
     print("-> reading: 'list employees with their birth date'")
 
     print("\n=== executing the minimal interpretation ===")

@@ -10,8 +10,8 @@ Run with::
     python examples/good_orderings.py
 """
 
-import random
 
+from repro import ConnectionService
 from repro.core import (
     every_ordering_good_sampled,
     fast_greedy_cover,
@@ -51,9 +51,24 @@ def theorem6_demo() -> None:
     print("(the benchmark harness verifies all orderings exhaustively, case by case)")
 
 
+def service_demo() -> None:
+    """On the counterexample graph the service refuses to over-promise."""
+    print("\n=== ConnectionService on the Theorem 6 graph ===")
+    graph = figure11_graph()
+    cases = figure11_cases()
+    witness = cases[0].witness
+    result = ConnectionService(schema=graph).connect(witness)
+    print(f"witness query answered by {result.provenance.solver} "
+          f"(instance class {result.provenance.instance_class}): "
+          f"cost {result.cost}, guarantee {result.guarantee.value}")
+    print("exact because the planner fell back to an exhaustive solver --")
+    print("no greedy elimination ordering is trusted on this class.")
+
+
 def main() -> None:
     corollary5_demo()
     theorem6_demo()
+    service_demo()
 
 
 if __name__ == "__main__":

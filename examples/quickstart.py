@@ -1,4 +1,4 @@
-"""Quickstart: classify a schema graph and find minimal conceptual connections.
+"""Quickstart: the ConnectionService façade over a small relational schema.
 
 Run with::
 
@@ -6,11 +6,13 @@ Run with::
 
 The example builds a small relational schema, looks at it through the
 paper's two lenses (hypergraph acyclicity and bipartite-graph chordality),
-and asks for minimal connections among attribute/relation names -- the
-core scenario of Ausiello, D'Atri and Moscarini's paper.
+and asks the :class:`repro.ConnectionService` for minimal connections
+among attribute/relation names -- the core scenario of Ausiello, D'Atri
+and Moscarini's paper.  Every answer is a typed ``ConnectionResult``
+carrying an optimality guarantee and a provenance record.
 """
 
-from repro import MinimalConnectionFinder, RelationalSchema, classify_bipartite_graph
+from repro import ConnectionService, RelationalSchema
 
 SCHEMA = RelationalSchema(
     {
@@ -31,29 +33,42 @@ def main() -> None:
     print("\n=== database-theoretic view (Section 2) ===")
     print("acyclicity degree of the schema hypergraph:", SCHEMA.acyclicity_degree())
 
-    graph = SCHEMA.schema_graph()
-    report = classify_bipartite_graph(graph)
+    service = ConnectionService(schema=SCHEMA)
+    report = service.classification()
     print("chordality class of the schema graph     :", report.strongest_class)
     print("V2-chordal and V2-conformal (alpha)      :", report.v2_alpha)
 
     print("\n=== minimal connections (Section 3) ===")
-    finder = MinimalConnectionFinder(graph)
-
     query = ["cust_name", "product_name"]
-    connection = finder.minimal_connection(query)
+    result = service.connect(query)
     print(f"query {query}:")
-    print("  objects in the minimal connection:", sorted(map(str, connection.tree.vertices())))
-    print("  auxiliary objects               :", sorted(map(str, connection.steiner_vertices())))
-    print("  guaranteed optimal              :", connection.optimal)
+    print("  objects in the minimal connection:", sorted(map(str, result.tree.vertices())))
+    print("  auxiliary objects               :", sorted(map(str, result.auxiliary_objects)))
+    print("  guarantee                       :", result.guarantee.value)
+    print("  solver / instance class         :",
+          f"{result.provenance.solver} / {result.provenance.instance_class}")
 
-    fewest_relations = finder.minimal_side_connection(query, side=2)
-    relations = [v for v in fewest_relations.tree.vertices() if graph.side_of(v) == 2]
-    print("  fewest relations needed         :", sorted(map(str, relations)))
+    fewest_relations = service.connect(query, objective="side", side=2)
+    relation_names = set(SCHEMA.relation_names())
+    relations = [
+        v for v in fewest_relations.tree.vertices() if v in relation_names
+    ]
+    print("  fewest relations needed         :", sorted(map(str, relations)),
+          f"({fewest_relations.side_cost} relations)")
+    print("  (side objective answered by      " + fewest_relations.provenance.solver + ")")
 
-    print("\n=== ranked interpretations (interactive disambiguation) ===")
-    for rank, alternative in enumerate(finder.ranked_connections(["city", "order_date"], limit=3), 1):
+    print("\n=== streaming disambiguation (interactive loop) ===")
+    stream = service.enumerate(["city", "order_date"], budget=3)
+    for alternative in stream:
         members = sorted(map(str, alternative.tree.vertices()))
-        print(f"  #{rank}: {len(members)} objects -> {members}")
+        print(f"  #{alternative.rank}: {alternative.cost} objects -> {members}")
+    print("stream paused with budget spent; exhausted:", stream.exhausted)
+
+    print("\n=== observability ===")
+    repeat = service.connect(query)
+    print("second identical call was a schema-cache hit:",
+          repeat.provenance.cache_hit)
+    print("cache stats:", service.cache_stats())
 
 
 if __name__ == "__main__":

@@ -11,7 +11,7 @@ Run with::
     python examples/relational_acyclicity.py
 """
 
-from repro import RelationalSchema
+from repro import ConnectionService, RelationalSchema
 from repro.core import classify_bipartite_graph
 from repro.hypergraphs import build_join_tree
 from repro.semantic import plain_join_plan, semijoin_program
@@ -60,6 +60,14 @@ def main() -> None:
     print("semijoin-program result rows:", len(reduced))
     print("plain-join result rows      :", len(plain))
     print("identical results           :", reduced == plain)
+
+    print("\n=== the same schema through the ConnectionService façade ===")
+    service = ConnectionService(schema=schema)
+    result = service.connect(["a", "c"], policy="require-optimal")
+    print("connection for {a, c}:", sorted(map(str, result.tree.vertices())))
+    print("guarantee:", result.guarantee.value,
+          "| solver:", result.provenance.solver,
+          "| class:", result.provenance.instance_class)
 
 
 if __name__ == "__main__":

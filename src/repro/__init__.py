@@ -20,12 +20,25 @@ The package provides:
 * the batched interpretation engine -- solver registry, query planner,
   schema-level precomputation cache and ``batch_interpret`` -- built on
   the integer-indexed graph backend (``repro.engine``,
-  ``repro.graphs.indexed``).
+  ``repro.graphs.indexed``),
+* the typed service façade (``repro.api``): ``ConnectionService`` with
+  ``ConnectionRequest``/``ConnectionResult`` objects (optimality
+  guarantees, provenance) and the resumable ``EnumerationStream`` for
+  interactive disambiguation -- the recommended entry point.
 
 The most common entry points are re-exported here; see ``README.md`` for a
 guided tour and ``DESIGN.md`` for the experiment index.
 """
 
+from repro.api import (
+    ConnectionRequest,
+    ConnectionResult,
+    ConnectionService,
+    EnumerationStream,
+    Guarantee,
+    Provenance,
+    ServiceConfig,
+)
 from repro.chordality import (
     is_41_chordal_bipartite,
     is_61_chordal_bipartite,
@@ -91,28 +104,35 @@ from repro.steiner import (
     steiner_tree_dreyfus_wagner,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BipartiteGraph",
     "BipartitenessError",
     "ChordalityReport",
+    "ConnectionRequest",
+    "ConnectionResult",
+    "ConnectionService",
     "Database",
     "DisconnectedTerminalsError",
     "ERSchema",
+    "EnumerationStream",
     "Graph",
     "GraphError",
     "GraphIndex",
+    "Guarantee",
     "Hypergraph",
     "HypergraphError",
     "IndexedGraph",
     "InterpretationEngine",
     "MinimalConnectionFinder",
     "NotApplicableError",
+    "Provenance",
     "QueryInterpreter",
     "Relation",
     "RelationalSchema",
     "ReproError",
+    "ServiceConfig",
     "SteinerInstance",
     "SteinerSolution",
     "ValidationError",

@@ -1,0 +1,28 @@
+"""`repro.api`: the typed service façade over the paper's scenario.
+
+One entry point (:class:`ConnectionService`), typed request/result objects
+(:class:`ConnectionRequest`, :class:`ConnectionResult` with
+:class:`Guarantee` and :class:`Provenance`), streaming enumeration for
+interactive disambiguation (:class:`EnumerationStream`) and one
+configuration object (:class:`ServiceConfig`).  All solver dispatch flows
+through :mod:`repro.engine`; the legacy per-query
+:class:`~repro.core.connection.MinimalConnectionFinder` is a thin wrapper
+over this package.
+"""
+
+from repro.api.config import ServiceConfig
+from repro.api.request import ConnectionRequest
+from repro.api.result import ConnectionResult, Guarantee, Provenance
+from repro.api.service import ConnectionService, default_service
+from repro.api.stream import EnumerationStream
+
+__all__ = [
+    "ConnectionRequest",
+    "ConnectionResult",
+    "ConnectionService",
+    "EnumerationStream",
+    "Guarantee",
+    "Provenance",
+    "ServiceConfig",
+    "default_service",
+]

@@ -1,0 +1,66 @@
+"""Service-level configuration for the :class:`~repro.api.service.ConnectionService`.
+
+Before the façade existed, the knobs governing solver dispatch lived as
+scattered constructor kwargs (``MinimalConnectionFinder(exact_terminal_limit=...)``,
+``InterpretationEngine(cache_size=...)``) and per-call arguments
+(``ranked_connections(limit=..., max_extra=...)``).  :class:`ServiceConfig`
+collects them in one immutable object so a deployment can define its policy
+once and hand it to every service instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Immutable policy/limits bundle for a :class:`ConnectionService`.
+
+    Attributes
+    ----------
+    exact_terminal_limit:
+        Terminal-set sizes up to this limit fall back to the Dreyfus-Wagner
+        exact solver when no polynomial class applies.
+    exact_vertex_limit:
+        Instances with at most this many optional vertices may use a
+        brute-force solver as a last exact resort.
+    cache_size:
+        Number of schema contexts kept in the engine's LRU.
+    default_side:
+        The bipartition side minimised by ``objective="side"`` requests
+        that do not specify one (side 2 is "relations" in the paper's
+        database reading).
+    enumeration_budget:
+        Default number of connections an :class:`~repro.api.stream.EnumerationStream`
+        may yield before pausing (``None`` = unbounded).
+    enumeration_max_extra:
+        Default bound on the number of auxiliary vertices enumeration will
+        explore (``None`` = all of them).
+    """
+
+    exact_terminal_limit: int = 8
+    exact_vertex_limit: int = 18
+    cache_size: int = 16
+    default_side: int = 2
+    enumeration_budget: Optional[int] = None
+    enumeration_max_extra: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.exact_terminal_limit < 0 or self.exact_vertex_limit < 0:
+            raise ValidationError("exact limits must be non-negative")
+        if self.cache_size < 1:
+            raise ValidationError("cache_size must be positive")
+        if self.default_side not in (1, 2):
+            raise ValidationError("default_side must be 1 or 2")
+        if self.enumeration_budget is not None and self.enumeration_budget < 0:
+            raise ValidationError("enumeration_budget must be non-negative")
+        if self.enumeration_max_extra is not None and self.enumeration_max_extra < 0:
+            raise ValidationError("enumeration_max_extra must be non-negative")
+
+    def with_overrides(self, **overrides) -> "ServiceConfig":
+        """Return a copy with the given fields replaced (validation re-runs)."""
+        return replace(self, **overrides)

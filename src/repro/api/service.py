@@ -1,0 +1,449 @@
+"""`ConnectionService`: the single front door to minimal conceptual connections.
+
+The paper's motivating scenario (Section 1) is an interactive service: a
+user names objects, the system proposes the cheapest connection among
+them, then further connections in increasing size for disambiguation.
+:class:`ConnectionService` is that scenario as one coherent, typed API:
+
+* :meth:`ConnectionService.connect` answers one
+  :class:`~repro.api.request.ConnectionRequest` (or a bare terminal set)
+  with a :class:`~repro.api.result.ConnectionResult` carrying the tree,
+  the optimality :class:`~repro.api.result.Guarantee` and a full
+  :class:`~repro.api.result.Provenance` record;
+* :meth:`ConnectionService.batch` answers many requests over one schema,
+  amortising classification/indexing through the engine's schema cache;
+* :meth:`ConnectionService.enumerate` returns the interactive
+  :class:`~repro.api.stream.EnumerationStream` of further connections.
+
+All dispatch flows through the engine's planner/registry/cache
+(:func:`~repro.engine.planner.plan_query`,
+:class:`~repro.engine.registry.SolverRegistry`,
+:class:`~repro.engine.cache.SchemaCache`) -- there is no second dispatch
+path anywhere in the library; the legacy
+:class:`~repro.core.connection.MinimalConnectionFinder` is a thin wrapper
+over this service.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, Iterable, List, Optional, Union
+
+from repro.api.config import ServiceConfig
+from repro.api.request import ConnectionRequest
+from repro.api.result import ConnectionResult, Guarantee, Provenance
+from repro.api.stream import EnumerationStream
+from repro.core.classification import ChordalityReport
+from repro.engine.batch import InterpretationEngine
+from repro.engine.cache import SchemaContext
+from repro.engine.planner import QueryPlan, plan_query
+from repro.engine.registry import SolverRegistry
+from repro.exceptions import NotApplicableError, ValidationError
+from repro.steiner.problem import SteinerSolution
+
+RequestLike = Union[ConnectionRequest, Iterable]
+
+
+class ConnectionService:
+    """Typed façade over the interpretation engine.
+
+    Parameters
+    ----------
+    schema:
+        Optional default schema handle (a
+        :class:`~repro.graphs.bipartite.BipartiteGraph`,
+        :class:`~repro.semantic.relational.RelationalSchema` or
+        :class:`~repro.semantic.er_model.ERSchema`).  Requests may override
+        it per call; a service without a default schema requires one on
+        every request.
+    config:
+        A :class:`~repro.api.config.ServiceConfig`; defaults are the
+        library-wide dispatch thresholds.
+    engine:
+        An existing :class:`~repro.engine.batch.InterpretationEngine` to
+        share (its registry and schema cache are reused).  Built from
+        ``config`` when omitted.
+    registry:
+        Convenience override for the engine's solver registry (ignored
+        when ``engine`` is given).
+
+    Examples
+    --------
+    >>> from repro.graphs import BipartiteGraph
+    >>> g = BipartiteGraph(left=["A", "B"], right=[1], edges=[("A", 1), ("B", 1)])
+    >>> service = ConnectionService(schema=g)
+    >>> result = service.connect(["A", "B"])
+    >>> result.cost, result.guarantee.value
+    (3, 'optimal')
+    """
+
+    def __init__(
+        self,
+        schema: Any = None,
+        config: Optional[ServiceConfig] = None,
+        engine: Optional[InterpretationEngine] = None,
+        registry: Optional[SolverRegistry] = None,
+    ) -> None:
+        self._schema = schema
+        if engine is None:
+            self._config = config if config is not None else ServiceConfig()
+            engine = InterpretationEngine(
+                registry=registry,
+                cache_size=self._config.cache_size,
+                exact_terminal_limit=self._config.exact_terminal_limit,
+                exact_vertex_limit=self._config.exact_vertex_limit,
+            )
+        elif config is None:
+            # adopt the engine's thresholds so the service and its engine
+            # plan identically (a single dispatch path, one policy)
+            self._config = ServiceConfig(
+                exact_terminal_limit=engine.exact_terminal_limit,
+                exact_vertex_limit=engine.exact_vertex_limit,
+            )
+        elif (
+            config.exact_terminal_limit != engine.exact_terminal_limit
+            or config.exact_vertex_limit != engine.exact_vertex_limit
+        ):
+            raise ValidationError(
+                "config dispatch limits conflict with the supplied engine's; "
+                "pass one or the other (or make them agree)"
+            )
+        else:
+            self._config = config
+        self._engine = engine
+        # see _context for the caching contract
+        self._bound_context = None
+        self._bound_version = None
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> ServiceConfig:
+        """The service's immutable configuration."""
+        return self._config
+
+    @property
+    def engine(self) -> InterpretationEngine:
+        """The underlying engine (registry + planner + schema cache)."""
+        return self._engine
+
+    @property
+    def schema(self) -> Any:
+        """The default schema handle (``None`` when unbound)."""
+        return self._schema
+
+    def classification(self, schema: Any = None) -> ChordalityReport:
+        """Return the chordality classification of a schema (cached)."""
+        return self._context(schema)[0].report
+
+    def cache_stats(self) -> dict:
+        """Return schema-cache observability counters (hits/misses/size)."""
+        return self._engine.cache_stats()
+
+    # ------------------------------------------------------------------
+    # request plumbing
+    # ------------------------------------------------------------------
+    def _materialise(self, request: RequestLike, **kwargs) -> ConnectionRequest:
+        if isinstance(request, ConnectionRequest):
+            if kwargs:
+                raise ValidationError(
+                    "pass either a ConnectionRequest or keyword arguments, not both"
+                )
+            return request
+        return ConnectionRequest.of(request, **kwargs)
+
+    def _context(self, schema: Any):
+        chosen = schema if schema is not None else self._schema
+        if chosen is None:
+            raise ValidationError(
+                "no schema: bind one at construction time "
+                "(ConnectionService(schema=...)) or put it on the request"
+            )
+        if chosen is self._schema:
+            # the bound schema's context is memoised and gated on the
+            # graph's mutation_version (Relational/ER handles expose no
+            # mutators and report None): repeat connect() calls skip the
+            # graph rebuild AND the O(|V|+|A|) structural fingerprint,
+            # while any structural mutation bumps the version and falls
+            # back to the fingerprinted LRU lookup -- mutation safety
+            # without a per-query scan
+            version = getattr(chosen, "mutation_version", None)
+            if self._bound_context is not None and version == self._bound_version:
+                # keep cache_stats() consistent with the cache_hit flag
+                self._engine.cache.count_external_hit()
+                return self._bound_context, True
+            context, hit = self._engine.context_with_status(
+                self._engine.resolve_schema(chosen)
+            )
+            self._bound_context = context
+            self._bound_version = version
+            return context, hit
+        return self._engine.context_with_status(chosen)
+
+    def _plan(self, context: SchemaContext, request: ConnectionRequest, side: int) -> QueryPlan:
+        plan = plan_query(
+            context,
+            request.terminals,
+            objective=request.objective,
+            side=side,
+            exact_terminal_limit=(
+                request.exact_terminal_limit
+                if request.exact_terminal_limit is not None
+                else self._config.exact_terminal_limit
+            ),
+            exact_vertex_limit=(
+                request.exact_vertex_limit
+                if request.exact_vertex_limit is not None
+                else self._config.exact_vertex_limit
+            ),
+        )
+        if request.solver is not None:
+            if request.solver not in self._engine.registry:
+                raise ValidationError(
+                    f"unknown solver {request.solver!r}; registered solvers: "
+                    f"{', '.join(self._engine.registry.names())}"
+                )
+            # the registry declares what each solver optimises; forcing a
+            # mismatched solver would return a tree whose ``optimal`` flag
+            # certifies the wrong objective (undeclared custom solvers are
+            # the caller's responsibility)
+            supported = self._engine.registry.objectives_of(request.solver)
+            if supported is not None and request.objective not in supported:
+                raise ValidationError(
+                    f"solver {request.solver!r} optimises objective(s) "
+                    f"{tuple(supported)}; it cannot answer a "
+                    f"{request.objective!r} request"
+                )
+            # explicit solver override: keep the planner's instance-class
+            # verdict for provenance but disable fallbacks -- the caller
+            # asked for this solver and nothing else (even when the planner
+            # would have picked the same solver with fallbacks)
+            plan = QueryPlan(
+                solver=request.solver,
+                fallbacks=(),
+                instance_class=plan.instance_class,
+                objective=plan.objective,
+                exact=False,
+                reason=f"explicit solver {request.solver!r} requested",
+            )
+        elif request.policy == "require-optimal" and not plan.exact:
+            # the planner already knows only a heuristic applies; fail fast
+            # instead of paying the full solve and rejecting afterwards
+            # (the post-solve check in _finish still guards fallback paths)
+            raise NotApplicableError(
+                "policy 'require-optimal': the planner offers only the "
+                f"heuristic {plan.solver!r} for terminals "
+                f"{list(request.terminals)!r}"
+            )
+        return plan
+
+    def _side_of(self, request: ConnectionRequest) -> int:
+        return request.side if request.side is not None else self._config.default_side
+
+    def _finish(
+        self,
+        request: ConnectionRequest,
+        plan: QueryPlan,
+        solution: SteinerSolution,
+        cache_hit: bool,
+        started: float,
+    ) -> ConnectionResult:
+        guarantee = Guarantee.OPTIMAL if solution.optimal else Guarantee.HEURISTIC
+        if request.policy == "require-optimal" and guarantee is not Guarantee.OPTIMAL:
+            raise NotApplicableError(
+                "policy 'require-optimal': no exact solver path applies to the "
+                f"request for terminals {list(request.terminals)!r} (got "
+                f"heuristic answer from {solution.metadata.get('solver')!r})"
+            )
+        provenance = Provenance(
+            solver=solution.metadata.get("solver", solution.method),
+            instance_class=plan.instance_class.value,
+            plan=plan.reason,
+            cache_hit=cache_hit,
+            fallback_from=solution.metadata.get("fallback_from"),
+            wall_time_ms=(perf_counter() - started) * 1000.0,
+            tags=dict(request.tags),
+        )
+        return ConnectionResult(
+            request=request,
+            solution=solution,
+            guarantee=guarantee,
+            provenance=provenance,
+        )
+
+    # ------------------------------------------------------------------
+    # single request
+    # ------------------------------------------------------------------
+    def connect(self, request: RequestLike, **kwargs) -> ConnectionResult:
+        """Answer one request; accepts a ``ConnectionRequest`` or terminals.
+
+        Shorthand keyword arguments (``objective``, ``side``, ``schema``,
+        ``solver``, ``policy``, limit overrides) are forwarded to
+        :meth:`ConnectionRequest.of` when ``request`` is a bare terminal
+        iterable.
+        """
+        req = self._materialise(request, **kwargs)
+        started = perf_counter()
+        context, cache_hit = self._context(req.schema)
+        side = self._side_of(req)
+        plan = self._plan(context, req, side)
+        solution = self._engine.execute_plan(context, plan, list(req.terminals), side)
+        return self._finish(req, plan, solution, cache_hit, started)
+
+    # ------------------------------------------------------------------
+    # batches
+    # ------------------------------------------------------------------
+    def batch(
+        self,
+        requests: Iterable[RequestLike],
+        *,
+        schema: Any = None,
+        objective: str = "steiner",
+        side: Optional[int] = None,
+        policy: str = "auto",
+    ) -> List[ConnectionResult]:
+        """Answer many requests over one schema, amortising precomputation.
+
+        ``requests`` may mix :class:`ConnectionRequest` objects and bare
+        terminal iterables (the keyword arguments fill in the blanks for
+        the latter).  Per-request ``schema`` fields must agree with the
+        batch's schema -- the point of a batch is one shared context.
+
+        Error semantics are all-or-nothing: the first failing request
+        (validation, infeasibility, or a ``require-optimal`` policy
+        rejection -- the raised error names its terminals) aborts the
+        batch and no partial results are returned.  Callers that want
+        per-query error isolation should loop over :meth:`connect`.
+        """
+        requests = list(requests)
+        if (objective != "steiner" or side is not None or policy != "auto") and any(
+            isinstance(request, ConnectionRequest) for request in requests
+        ):
+            # mirror connect(): keyword fill-ins only apply to bare terminal
+            # iterables; applying them to (or silently ignoring them for)
+            # prebuilt requests would certify answers for the wrong objective
+            raise ValidationError(
+                "batch() keyword arguments only apply to bare terminal "
+                "iterables; set objective/side/policy on the ConnectionRequest "
+                "objects themselves"
+            )
+        materialised: List[ConnectionRequest] = [
+            request
+            if isinstance(request, ConnectionRequest)
+            else ConnectionRequest.of(
+                request, objective=objective, side=side, policy=policy
+            )
+            for request in requests
+        ]
+        batch_schema = schema if schema is not None else self._schema
+        batch_fingerprint = None
+        for request in materialised:
+            if request.schema is not None:
+                if batch_schema is None:
+                    batch_schema = request.schema
+                elif request.schema is not batch_schema:
+                    # distinct objects may still be the same schema
+                    # structurally -- compare fingerprints, same as the LRU
+                    from repro.engine.cache import schema_fingerprint
+
+                    if batch_fingerprint is None:
+                        batch_fingerprint = schema_fingerprint(
+                            self._engine.resolve_schema(batch_schema)
+                        )
+                    candidate = schema_fingerprint(
+                        self._engine.resolve_schema(request.schema)
+                    )
+                    if candidate != batch_fingerprint:
+                        raise ValidationError(
+                            "batch() answers one schema at a time; use connect() "
+                            "for mixed-schema traffic"
+                        )
+        context, cache_hit = self._context(batch_schema)
+        results: List[ConnectionResult] = []
+        for request in materialised:
+            query_started = perf_counter()
+            request_side = self._side_of(request)
+            plan = self._plan(context, request, request_side)
+            solution = self._engine.execute_plan(
+                context, plan, list(request.terminals), request_side
+            )
+            results.append(
+                self._finish(request, plan, solution, cache_hit, query_started)
+            )
+            # every query after the first reuses the context by construction
+            cache_hit = True
+        return results
+
+    # ------------------------------------------------------------------
+    # streaming enumeration
+    # ------------------------------------------------------------------
+    def enumerate(
+        self,
+        request: RequestLike,
+        *,
+        budget: Optional[int] = None,
+        max_extra: Optional[int] = None,
+        **kwargs,
+    ) -> EnumerationStream:
+        """Return the stream of connections in non-decreasing size.
+
+        ``budget`` caps how many connections the stream yields before
+        pausing (resumable via
+        :meth:`~repro.api.stream.EnumerationStream.extend_budget`);
+        ``max_extra`` bounds the auxiliary-vertex counts explored.  Both
+        default to the service config.
+
+        Only the ``"steiner"`` objective is streamable: connections are
+        enumerated by total size, so a ``"side"`` request would get an
+        ordering (and a rank-1 optimality claim) for the wrong objective.
+        """
+        req = self._materialise(request, **kwargs)
+        if req.objective != "steiner":
+            raise ValidationError(
+                "enumerate() streams connections by total size (objective "
+                f"'steiner'); objective {req.objective!r} is not streamable -- "
+                "use connect(objective='side') for the side-minimal answer"
+            )
+        if (
+            req.policy != "auto"
+            or req.solver is not None
+            or req.exact_terminal_limit is not None
+            or req.exact_vertex_limit is not None
+        ):
+            raise ValidationError(
+                "enumerate() deliberately yields non-minimal connections after "
+                "rank 1 and always uses exhaustive enumeration; the 'policy', "
+                "'solver' and exact-limit request fields do not apply -- use "
+                "connect() for policy-gated or solver-pinned answers, and the "
+                "'budget'/'max_extra' knobs to bound enumeration"
+            )
+        context, cache_hit = self._context(req.schema)
+        report = context.report
+        if report.steiner_tractable():
+            instance_class = "chordal"
+        else:
+            instance_class = "general"
+        return EnumerationStream(
+            context.graph,
+            req,
+            instance_class=instance_class,
+            cache_hit=cache_hit,
+            budget=budget if budget is not None else self._config.enumeration_budget,
+            max_extra=(
+                max_extra
+                if max_extra is not None
+                else self._config.enumeration_max_extra
+            ),
+        )
+
+
+_DEFAULT_SERVICE: Optional[ConnectionService] = None
+
+
+def default_service() -> ConnectionService:
+    """Return the process-wide default service (lazily constructed)."""
+    global _DEFAULT_SERVICE
+    if _DEFAULT_SERVICE is None:
+        _DEFAULT_SERVICE = ConnectionService()
+    return _DEFAULT_SERVICE

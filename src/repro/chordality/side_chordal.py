@@ -22,7 +22,7 @@ test-suite cross-validates them.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Iterable, Optional, Set
+from typing import Optional, Set
 
 from repro.chordality.chordal import is_chordal
 from repro.exceptions import BipartitenessError
@@ -31,7 +31,7 @@ from repro.graphs.cliques import maximal_cliques
 from repro.graphs.cycles import cycle_distance, simple_cycles
 from repro.graphs.graph import Graph, Vertex
 from repro.hypergraphs.conformality import is_conformal
-from repro.hypergraphs.conversions import hypergraph_of_side, primal_graph
+from repro.hypergraphs.conversions import hypergraph_of_side
 
 
 def _check_side(side: int) -> None:

@@ -23,7 +23,6 @@ uses to pick an algorithm.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.chordality.mn_chordal import (
     is_41_chordal_bipartite,
@@ -32,7 +31,6 @@ from repro.chordality.mn_chordal import (
 )
 from repro.chordality.side_chordal import (
     is_side_chordal,
-    is_side_chordal_and_conformal,
     is_side_conformal,
 )
 from repro.exceptions import BipartitenessError

@@ -1,4 +1,4 @@
-"""Top-level minimal-connection API.
+"""Legacy per-query minimal-connection API (thin wrapper over ``repro.api``).
 
 The paper's motivating scenario (Section 1): a user states a query as a set
 of object names over a conceptual schema; the system must propose the
@@ -6,44 +6,39 @@ connection among those objects that requires the fewest auxiliary concepts,
 and possibly enumerate further connections in order of increasing size for
 interactive disambiguation.
 
-:class:`MinimalConnectionFinder` packages that scenario over a bipartite
-schema graph.  It classifies the graph once (using
-:mod:`repro.core.classification`) and then dispatches every request to the
-strongest applicable algorithm:
-
-* (6,2)-chordal graphs -> Algorithm 2 (exact, polynomial);
-* ``V_i``-chordal + conformal graphs -> Algorithm 1 for pseudo-Steiner
-  requests w.r.t. ``V_i``;
-* small instances -> exact solvers (Dreyfus-Wagner / brute force);
-* everything else -> the KMB heuristic, with the result flagged as not
-  guaranteed optimal.
+.. deprecated:: 1.2.0
+    :class:`MinimalConnectionFinder` is kept for backwards compatibility
+    only.  It no longer contains any solver dispatch of its own: every call
+    delegates to a :class:`~repro.api.service.ConnectionService`, whose
+    planner/registry/cache (:mod:`repro.engine`) is the library's single
+    dispatch path.  New code should use :class:`~repro.api.service.ConnectionService`
+    directly -- it returns :class:`~repro.api.result.ConnectionResult`
+    objects with optimality guarantees and provenance instead of bare
+    :class:`~repro.steiner.problem.SteinerSolution` objects.  See the README
+    migration guide.
 """
 
 from __future__ import annotations
 
-from itertools import combinations
-from typing import Iterable, Iterator, List, Optional
+import warnings
+from typing import TYPE_CHECKING, Iterable, List, Optional
 
-from repro.core.classification import ChordalityReport, classify_bipartite_graph
-from repro.exceptions import NotApplicableError, ValidationError
+from repro.core.classification import ChordalityReport
+from repro.exceptions import ValidationError
 from repro.graphs.bipartite import BipartiteGraph
-from repro.graphs.graph import Graph, Vertex
-from repro.graphs.spanning import spanning_tree
-from repro.graphs.traversal import component_containing, vertices_in_same_component
-from repro.steiner.algorithm1 import pseudo_steiner_algorithm1
-from repro.steiner.algorithm2 import steiner_algorithm2
-from repro.steiner.exact import steiner_tree_bruteforce, steiner_tree_dreyfus_wagner
-from repro.steiner.heuristics import kou_markowsky_berman
-from repro.steiner.problem import (
-    SteinerInstance,
-    SteinerSolution,
-    prune_non_terminal_leaves,
-)
-from repro.steiner.pseudo import pseudo_steiner_bruteforce
+from repro.graphs.graph import Vertex
+from repro.steiner.problem import SteinerSolution
+
+if TYPE_CHECKING:  # imported lazily at runtime (repro.api depends on repro.core)
+    from repro.api.service import ConnectionService
 
 
 class MinimalConnectionFinder:
     """Find minimal conceptual connections over a bipartite schema graph.
+
+    .. deprecated:: 1.2.0
+        Thin back-compat wrapper; use
+        :class:`~repro.api.service.ConnectionService` for new code.
 
     Parameters
     ----------
@@ -55,6 +50,10 @@ class MinimalConnectionFinder:
     exact_vertex_limit:
         Graphs with at most this many optional vertices may use the
         brute-force solver as a last exact resort (default 18).
+    service:
+        Advanced: an existing :class:`~repro.api.service.ConnectionService`
+        to delegate to (shares its engine/cache); the limit arguments are
+        ignored when given.
 
     Examples
     --------
@@ -70,14 +69,30 @@ class MinimalConnectionFinder:
         graph: BipartiteGraph,
         exact_terminal_limit: int = 8,
         exact_vertex_limit: int = 18,
+        service: Optional["ConnectionService"] = None,
     ) -> None:
+        from repro.api.config import ServiceConfig
+        from repro.api.service import ConnectionService
+
         if not isinstance(graph, BipartiteGraph):
             raise ValidationError("MinimalConnectionFinder requires a BipartiteGraph")
+        warnings.warn(
+            "MinimalConnectionFinder is deprecated since 1.2.0; use "
+            "repro.api.ConnectionService (typed results with guarantees and "
+            "provenance) -- see the README migration guide",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self._graph = graph
-        self._exact_terminal_limit = exact_terminal_limit
-        self._exact_vertex_limit = exact_vertex_limit
-        self._report: Optional[ChordalityReport] = None
-        self._engine = None  # lazily built by batch(), then reused
+        if service is None:
+            service = ConnectionService(
+                schema=graph,
+                config=ServiceConfig(
+                    exact_terminal_limit=exact_terminal_limit,
+                    exact_vertex_limit=exact_vertex_limit,
+                ),
+            )
+        self._service = service
 
     # ------------------------------------------------------------------
     # classification
@@ -88,11 +103,14 @@ class MinimalConnectionFinder:
         return self._graph
 
     @property
+    def service(self) -> "ConnectionService":
+        """The :class:`~repro.api.service.ConnectionService` doing the work."""
+        return self._service
+
+    @property
     def report(self) -> ChordalityReport:
-        """The (lazily computed, cached) chordality classification."""
-        if self._report is None:
-            self._report = classify_bipartite_graph(self._graph)
-        return self._report
+        """The (lazily computed, engine-cached) chordality classification."""
+        return self._service.classification(self._graph)
 
     # ------------------------------------------------------------------
     # Steiner (minimise total number of objects)
@@ -100,24 +118,13 @@ class MinimalConnectionFinder:
     def minimal_connection(self, terminals: Iterable[Vertex]) -> SteinerSolution:
         """Return a connection (tree) over ``terminals`` minimising total objects.
 
-        The solver is chosen from the graph's chordality class; the returned
+        Delegates to :meth:`ConnectionService.connect`; the returned
         solution's ``optimal`` flag tells the caller whether the answer is
-        guaranteed minimal.
+        guaranteed minimal (the service's richer
+        :class:`~repro.api.result.ConnectionResult` carries the same fact
+        as a typed guarantee plus provenance).
         """
-        terminal_list = sorted(set(terminals), key=repr)
-        if self.report.steiner_tractable():
-            # the cached report already answers Algorithm 2's precondition
-            # (this branch is gated on it), so skip the per-query
-            # (6,2)-chordality re-classification
-            return steiner_algorithm2(
-                self._graph, terminal_list, check=False, applicable=True
-            )
-        if len(terminal_list) <= self._exact_terminal_limit:
-            return steiner_tree_dreyfus_wagner(self._graph, terminal_list)
-        optional = self._graph.number_of_vertices() - len(terminal_list)
-        if optional <= self._exact_vertex_limit:
-            return steiner_tree_bruteforce(self._graph, terminal_list)
-        return kou_markowsky_berman(self._graph, terminal_list)
+        return self._service.connect(terminals, schema=self._graph).solution
 
     # ------------------------------------------------------------------
     # pseudo-Steiner (minimise objects of one side, e.g. relations)
@@ -131,29 +138,12 @@ class MinimalConnectionFinder:
         the query with as few relations as possible", which Algorithm 1
         solves in polynomial time on alpha-acyclic schemas.
         """
-        terminal_list = sorted(set(terminals), key=repr)
-        if self.report.pseudo_steiner_tractable(side):
-            try:
-                return pseudo_steiner_algorithm1(
-                    self._graph,
-                    terminal_list,
-                    side=side,
-                    check=True,
-                    applicable=True if getattr(self.report, f"v{side}_alpha") else None,
-                )
-            except NotApplicableError:
-                # the global class test passed but the terminals' component is
-                # degenerate; fall through to the exact solver below.
-                pass
-        optional_side = len(self._graph.side(side) - set(terminal_list))
-        if optional_side <= self._exact_vertex_limit:
-            return pseudo_steiner_bruteforce(self._graph, terminal_list, side)
-        solution = kou_markowsky_berman(self._graph, terminal_list)
-        solution.side = side
-        return solution
+        return self._service.connect(
+            terminals, objective="side", side=side, schema=self._graph
+        ).solution
 
     # ------------------------------------------------------------------
-    # batched interpretation (delegates to repro.engine)
+    # batched interpretation
     # ------------------------------------------------------------------
     def batch(
         self,
@@ -161,26 +151,19 @@ class MinimalConnectionFinder:
         objective: str = "steiner",
         side: int = 2,
     ) -> List[SteinerSolution]:
-        """Answer many queries at once through the batched engine.
+        """Answer many queries at once through the service's batched path.
 
-        The engine reuses this finder's cached classification and builds
-        the schema-level precomputations (indexed backend, BFS rows,
-        elimination orderings) once, so the per-query cost collapses to the
-        elimination inner loop.  Results carry the same objective values as
-        the corresponding per-query calls (:meth:`minimal_connection` /
-        :meth:`minimal_side_connection`).
+        The engine reuses the cached schema context (classification,
+        indexed backend, BFS rows, elimination orderings), so the per-query
+        cost collapses to the elimination inner loop.  Results carry the
+        same objective values as the corresponding per-query calls.
         """
-        from repro.engine.batch import InterpretationEngine
-
-        if self._engine is None:
-            self._engine = InterpretationEngine(
-                exact_terminal_limit=self._exact_terminal_limit,
-                exact_vertex_limit=self._exact_vertex_limit,
+        return [
+            result.solution
+            for result in self._service.batch(
+                queries, schema=self._graph, objective=objective, side=side
             )
-            self._engine.seed_report(self._graph, self.report)
-        return self._engine.batch_interpret(
-            self._graph, queries, objective=objective, side=side
-        )
+        ]
 
     # ------------------------------------------------------------------
     # ranked enumeration (interactive disambiguation)
@@ -191,44 +174,12 @@ class MinimalConnectionFinder:
         """Enumerate distinct connections in order of increasing total size.
 
         This is the "progressively disclose as few concepts as possible"
-        interaction of the introduction: the first entry is a minimal
-        connection, later entries are alternative interpretations using
-        more auxiliary objects.  Enumeration is exhaustive over auxiliary
-        subsets and therefore meant for schema-sized graphs (tens of
-        vertices), not arbitrary inputs.
+        interaction of the introduction, now served by the resumable
+        :class:`~repro.api.stream.EnumerationStream`; use
+        :meth:`ConnectionService.enumerate` directly to page through
+        results interactively instead of materialising a list.
         """
-        terminal_set = frozenset(terminals)
-        instance = SteinerInstance(self._graph, terminal_set)
-        instance.require_feasible()
-        optional = sorted(self._graph.vertices() - terminal_set, key=repr)
-        bound = len(optional) if max_extra is None else min(max_extra, len(optional))
-        found: List[SteinerSolution] = []
-        seen_vertex_sets = set()
-        for extra in range(bound + 1):
-            for subset in combinations(optional, extra):
-                kept = terminal_set | set(subset)
-                induced = self._graph.subgraph(kept)
-                if not vertices_in_same_component(induced, terminal_set):
-                    continue
-                component = component_containing(induced, next(iter(terminal_set)))
-                # only report connections that use exactly the chosen objects
-                # (otherwise the same connection reappears for every superset
-                # of its auxiliary vertices)
-                if frozenset(component) != frozenset(kept):
-                    continue
-                tree = spanning_tree(induced.subgraph(component))
-                key = frozenset(tree.vertices())
-                if key in seen_vertex_sets:
-                    continue
-                seen_vertex_sets.add(key)
-                found.append(
-                    SteinerSolution(
-                        tree=tree,
-                        instance=instance,
-                        method="ranked-enumeration",
-                        optimal=not found,
-                    )
-                )
-                if len(found) >= limit:
-                    return found
-        return found
+        stream = self._service.enumerate(
+            terminals, schema=self._graph, budget=limit, max_extra=max_extra
+        )
+        return [result.solution for result in stream]

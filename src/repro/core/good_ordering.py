@@ -22,9 +22,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations, permutations
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
 
-from repro.core.covers import greedy_elimination_cover, minimum_cover_size
+from repro.core.covers import minimum_cover_size
 from repro.exceptions import ValidationError
 from repro.graphs.graph import Graph, Vertex
 from repro.graphs.traversal import vertices_in_same_component

@@ -35,7 +35,6 @@ from typing import Dict, FrozenSet, List, Tuple
 
 from repro.core.good_ordering import OrderingCase
 from repro.graphs.bipartite import BipartiteGraph
-from repro.graphs.graph import Graph
 from repro.hypergraphs.conversions import hypergraph_of_side
 from repro.hypergraphs.hypergraph import Hypergraph
 from repro.semantic.er_model import ERSchema

@@ -79,10 +79,37 @@ class InterpretationEngine:
         """Return the cached :class:`SchemaContext` for ``schema`` (building it once)."""
         return self._cache.get_or_build(self._resolve_schema(schema))
 
+    def context_with_status(self, schema) -> "tuple[SchemaContext, bool]":
+        """Return ``(context, cache_hit)`` -- provenance-aware context lookup."""
+        return self._cache.lookup(self._resolve_schema(schema))
+
+    @property
+    def cache(self) -> SchemaCache:
+        """The engine's :class:`~repro.engine.cache.SchemaCache`."""
+        return self._cache
+
+    @property
+    def exact_terminal_limit(self) -> int:
+        """Dispatch threshold: max terminals for the Dreyfus-Wagner fallback."""
+        return self._exact_terminal_limit
+
+    @property
+    def exact_vertex_limit(self) -> int:
+        """Dispatch threshold: max optional vertices for brute-force fallbacks."""
+        return self._exact_vertex_limit
+
+    def cache_stats(self) -> dict:
+        """Return the schema cache's observability counters."""
+        return self._cache.stats()
+
     def seed_report(self, schema, report: ChordalityReport) -> None:
         """Adopt an externally computed classification for ``schema``."""
         graph = self._resolve_schema(schema)
         self._cache.get_or_build(graph, report=report)
+
+    def resolve_schema(self, schema) -> BipartiteGraph:
+        """Return the :class:`BipartiteGraph` behind any accepted schema handle."""
+        return self._resolve_schema(schema)
 
     def _resolve_schema(self, schema) -> BipartiteGraph:
         if isinstance(schema, BipartiteGraph):
@@ -133,11 +160,17 @@ class InterpretationEngine:
             exact_terminal_limit=self._exact_terminal_limit,
             exact_vertex_limit=self._exact_vertex_limit,
         )
-        return self._execute(context, plan, terminals, side)
+        return self.execute_plan(context, plan, terminals, side)
 
-    def _execute(
+    def execute_plan(
         self, context: SchemaContext, plan: QueryPlan, terminals, side: int
     ) -> SteinerSolution:
+        """Run a :class:`QueryPlan` (primary solver, then fallbacks) on a context.
+
+        This is the one place in the library where a solver is actually
+        invoked; the :class:`~repro.api.service.ConnectionService` façade
+        and every legacy entry point funnel through it.
+        """
         names = (plan.solver, *plan.fallbacks)
         last_error: Optional[NotApplicableError] = None
         for position, name in enumerate(names):
@@ -180,7 +213,7 @@ class InterpretationEngine:
         for query in queries:
             query = list(query)  # planning and solving both iterate
             results.append(
-                self._execute(
+                self.execute_plan(
                     context,
                     plan_query(
                         context,
@@ -197,15 +230,16 @@ class InterpretationEngine:
         return results
 
 
-_DEFAULT_ENGINE: Optional[InterpretationEngine] = None
-
-
 def default_engine() -> InterpretationEngine:
-    """Return the process-wide default engine (lazily constructed)."""
-    global _DEFAULT_ENGINE
-    if _DEFAULT_ENGINE is None:
-        _DEFAULT_ENGINE = InterpretationEngine()
-    return _DEFAULT_ENGINE
+    """Return the process-wide default engine.
+
+    This is the engine behind :func:`repro.api.service.default_service`
+    (one shared schema cache): contexts warmed through either entry point
+    are visible to the other.
+    """
+    from repro.api.service import default_service  # circular at module load
+
+    return default_service().engine
 
 
 def batch_interpret(
@@ -213,8 +247,22 @@ def batch_interpret(
     queries: Iterable[Iterable],
     objective: str = "steiner",
     side: int = 2,
-) -> List[SteinerSolution]:
-    """Module-level convenience wrapper around the default engine."""
-    return default_engine().batch_interpret(
-        schema, queries, objective=objective, side=side
+    as_results: bool = False,
+) -> List:
+    """Module-level convenience wrapper around the default service.
+
+    Routes through the process-wide
+    :class:`~repro.api.service.ConnectionService` so every answer carries
+    provenance.  By default the bare
+    :class:`~repro.steiner.problem.SteinerSolution` objects are returned
+    (back-compat); pass ``as_results=True`` for the full
+    :class:`~repro.api.result.ConnectionResult` objects.
+    """
+    from repro.api.service import default_service  # circular at module load
+
+    results = default_service().batch(
+        queries, schema=schema, objective=objective, side=side
     )
+    if as_results:
+        return results
+    return [result.solution for result in results]

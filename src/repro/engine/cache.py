@@ -218,18 +218,48 @@ class SchemaCache:
     def __init__(self, maxsize: int = 16) -> None:
         self._contexts = LRUCache(maxsize=maxsize)
 
-    def get_or_build(
+    def lookup(
         self, graph: BipartiteGraph, report: Optional[ChordalityReport] = None
-    ) -> SchemaContext:
-        """Return the cached context for ``graph``, building it on first use."""
+    ) -> Tuple[SchemaContext, bool]:
+        """Return ``(context, cache_hit)`` for ``graph``, building on first use.
+
+        The boolean feeds result provenance: ``True`` means the context was
+        served from the LRU, ``False`` that it was (re)built for this call.
+        """
         key = schema_fingerprint(graph)
         context = self._contexts.get(key)
+        hit = context is not None
         if context is None:
             context = SchemaContext(graph, report=report)
             self._contexts.put(key, context)
         elif report is not None:
             context.seed_report(report)
-        return context
+        return context, hit
+
+    def get_or_build(
+        self, graph: BipartiteGraph, report: Optional[ChordalityReport] = None
+    ) -> SchemaContext:
+        """Return the cached context for ``graph``, building it on first use."""
+        return self.lookup(graph, report=report)[0]
+
+    def count_external_hit(self) -> None:
+        """Record a context served from a caller-side memo above this cache.
+
+        The :class:`~repro.api.service.ConnectionService` memoises the
+        context of an immutable bound schema and skips the fingerprint
+        lookup entirely; counting those serves here keeps
+        :meth:`stats` consistent with the ``cache_hit`` provenance flag.
+        """
+        self._contexts.hits += 1
+
+    def stats(self) -> dict:
+        """Return observability counters for the underlying LRU."""
+        return {
+            "hits": self._contexts.hits,
+            "misses": self._contexts.misses,
+            "size": len(self._contexts),
+            "maxsize": self._contexts.maxsize,
+        }
 
     def __len__(self) -> int:
         return len(self._contexts)

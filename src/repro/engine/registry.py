@@ -25,13 +25,12 @@ planner.
 
 from __future__ import annotations
 
-from collections import deque
 from enum import Enum
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.engine.cache import SchemaContext
 from repro.exceptions import DisconnectedTerminalsError, NotApplicableError
-from repro.graphs.graph import Graph, Vertex
+from repro.graphs.graph import Vertex
 from repro.graphs.indexed import indexed_elimination_cover, iter_bits
 from repro.graphs.spanning import spanning_tree
 from repro.steiner.exact import steiner_tree_bruteforce, steiner_tree_dreyfus_wagner
@@ -60,10 +59,29 @@ class SolverRegistry:
 
     def __init__(self) -> None:
         self._solvers: Dict[str, Solver] = {}
+        self._objectives: Dict[str, Sequence[str]] = {}
 
-    def register(self, name: str, solver: Solver) -> None:
-        """Register ``solver`` under ``name`` (overwrites silently)."""
+    def register(
+        self, name: str, solver: Solver, objectives: Optional[Sequence[str]] = None
+    ) -> None:
+        """Register ``solver`` under ``name`` (overwrites silently).
+
+        ``objectives`` declares which objective(s) the solver actually
+        optimises (``"steiner"`` and/or ``"side"``); the service façade
+        refuses explicit-solver requests whose objective is not declared,
+        because the result's ``optimal`` flag would certify the wrong
+        quantity.  ``None`` (the default for custom solvers) means
+        "undeclared": no compatibility check is enforced, and any prior
+        declaration for the name is *kept* -- re-registering a wrapped
+        stock solver must not silently disable the objective guard.
+        """
         self._solvers[name] = solver
+        if objectives is not None:
+            self._objectives[name] = tuple(objectives)
+
+    def objectives_of(self, name: str) -> Optional[Sequence[str]]:
+        """Return the declared objectives for ``name`` (``None`` = undeclared)."""
+        return self._objectives.get(name)
 
     def get(self, name: str) -> Solver:
         """Return the solver registered under ``name``."""
@@ -274,10 +292,16 @@ def solve_pseudo_bruteforce(
 def default_registry() -> SolverRegistry:
     """Return a registry populated with the stock solvers."""
     registry = SolverRegistry()
-    registry.register("chordal-elimination", solve_chordal_elimination)
-    registry.register("algorithm1-indexed", solve_algorithm1_indexed)
-    registry.register("dreyfus-wagner", solve_dreyfus_wagner)
-    registry.register("bruteforce", solve_bruteforce)
-    registry.register("kmb", solve_kmb)
-    registry.register("pseudo-bruteforce", solve_pseudo_bruteforce)
+    registry.register(
+        "chordal-elimination", solve_chordal_elimination, objectives=("steiner",)
+    )
+    registry.register(
+        "algorithm1-indexed", solve_algorithm1_indexed, objectives=("side",)
+    )
+    registry.register("dreyfus-wagner", solve_dreyfus_wagner, objectives=("steiner",))
+    registry.register("bruteforce", solve_bruteforce, objectives=("steiner",))
+    registry.register("kmb", solve_kmb, objectives=("steiner", "side"))
+    registry.register(
+        "pseudo-bruteforce", solve_pseudo_bruteforce, objectives=("side",)
+    )
     return registry

@@ -16,7 +16,7 @@ maximal clique of G(H) is a hyperedge-subset* (Berge), and that is what
 
 from __future__ import annotations
 
-from typing import Iterator, List, Set
+from typing import Iterator, Set
 
 from repro.graphs.graph import Graph, Vertex
 

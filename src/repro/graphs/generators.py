@@ -10,7 +10,7 @@ layer; this module only contains structure-free building blocks.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.graphs.bipartite import BipartiteGraph
 from repro.graphs.graph import Graph

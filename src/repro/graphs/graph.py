@@ -50,6 +50,7 @@ class Graph:
         edges: Iterable[Edge] = (),
     ) -> None:
         self._adjacency: Dict[Vertex, Set[Vertex]] = {}
+        self._mutation_version = 0
         for vertex in vertices:
             self.add_vertex(vertex)
         for u, v in edges:
@@ -94,10 +95,21 @@ class Graph:
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
+    @property
+    def mutation_version(self) -> int:
+        """Monotonic counter bumped by every structural change.
+
+        Callers that memoise derived structures (e.g. the service façade's
+        bound schema context) compare versions instead of re-fingerprinting
+        the whole graph per call; no-op mutations do not bump it.
+        """
+        return self._mutation_version
+
     def add_vertex(self, vertex: Vertex) -> None:
         """Add ``vertex`` if not already present (idempotent)."""
         if vertex not in self._adjacency:
             self._adjacency[vertex] = set()
+            self._mutation_version += 1
 
     def add_edge(self, u: Vertex, v: Vertex) -> None:
         """Add the undirected edge ``{u, v}`` (idempotent).
@@ -109,8 +121,10 @@ class Graph:
             raise GraphError(f"self-loops are not allowed (vertex {u!r})")
         self.add_vertex(u)
         self.add_vertex(v)
-        self._adjacency[u].add(v)
-        self._adjacency[v].add(u)
+        if v not in self._adjacency[u]:
+            self._adjacency[u].add(v)
+            self._adjacency[v].add(u)
+            self._mutation_version += 1
 
     def remove_vertex(self, vertex: Vertex) -> None:
         """Remove ``vertex`` and all edges incident to it."""
@@ -119,6 +133,7 @@ class Graph:
         for neighbor in self._adjacency[vertex]:
             self._adjacency[neighbor].discard(vertex)
         del self._adjacency[vertex]
+        self._mutation_version += 1
 
     def remove_edge(self, u: Vertex, v: Vertex) -> None:
         """Remove the edge ``{u, v}``."""
@@ -126,6 +141,7 @@ class Graph:
             raise GraphError(f"edge ({u!r}, {v!r}) is not in the graph")
         self._adjacency[u].discard(v)
         self._adjacency[v].discard(u)
+        self._mutation_version += 1
 
     # ------------------------------------------------------------------
     # queries

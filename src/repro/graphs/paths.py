@@ -17,7 +17,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set
 from repro.exceptions import GraphError
 from repro.graphs.backend import is_indexed
 from repro.graphs.graph import Graph, Vertex
-from repro.graphs.traversal import bfs_distances, is_connected
+from repro.graphs.traversal import bfs_distances
 
 
 def shortest_path(graph: Graph, source: Vertex, target: Vertex) -> Optional[List[Vertex]]:

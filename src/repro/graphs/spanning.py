@@ -10,7 +10,7 @@ same number of vertices.
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable, List, Optional, Set, Tuple
+from typing import Iterable, Optional, Set
 
 from repro.exceptions import GraphError
 from repro.graphs.graph import Graph, Vertex

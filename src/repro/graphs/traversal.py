@@ -12,7 +12,7 @@ These are the low-level primitives used throughout the library:
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set
 
 from repro.exceptions import GraphError
 from repro.graphs.backend import is_indexed

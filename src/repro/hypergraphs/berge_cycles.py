@@ -21,7 +21,7 @@ used as ground truth; the efficient acyclicity tests live in
 from __future__ import annotations
 
 from itertools import permutations
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.hypergraphs.hypergraph import EdgeLabel, Hypergraph, Node
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
-from repro.hypergraphs.hypergraph import EdgeLabel, Hypergraph, Node
+from repro.hypergraphs.hypergraph import Hypergraph
 
 
 def gyo_reduction(hypergraph: Hypergraph) -> Tuple[Hypergraph, List[Tuple[str, object]]]:

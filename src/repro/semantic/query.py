@@ -12,14 +12,21 @@ are connected.  The interpreter:
 4. for relational schemas, translates the chosen interpretation into a join
    plan over the relations it touches and can execute it against a
    database instance.
+
+Since 1.2.0 every interpretation is backed by a
+:class:`~repro.api.result.ConnectionResult`: the
+:attr:`Interpretation.result` field carries the optimality guarantee and
+the provenance record (solver, instance class, cache hit, wall time) of
+the connection that produced it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Set, Union
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Set, Union
 
-from repro.core.connection import MinimalConnectionFinder
+from repro.api.result import ConnectionResult, Guarantee, Provenance
+from repro.api.service import ConnectionService
 from repro.exceptions import ValidationError
 from repro.graphs.bipartite import BipartiteGraph
 from repro.semantic.er_model import ERSchema
@@ -36,6 +43,21 @@ class Interpretation:
     solution: SteinerSolution
     query_objects: frozenset
     rank: int
+    #: The full service answer backing this interpretation (guarantee +
+    #: provenance); always set by :class:`QueryInterpreter` since 1.2.0.
+    result: Optional[ConnectionResult] = None
+
+    @classmethod
+    def from_result(
+        cls, result: ConnectionResult, query_objects: frozenset, rank: int
+    ) -> "Interpretation":
+        """Wrap a :class:`~repro.api.result.ConnectionResult`."""
+        return cls(
+            solution=result.solution,
+            query_objects=query_objects,
+            rank=rank,
+            result=result,
+        )
 
     @property
     def objects(self) -> Set:
@@ -46,6 +68,16 @@ class Interpretation:
     def auxiliary_objects(self) -> Set:
         """The auxiliary objects the user did not mention."""
         return self.objects - set(self.query_objects)
+
+    @property
+    def guarantee(self) -> Optional[Guarantee]:
+        """The optimality guarantee of the backing result (if available)."""
+        return self.result.guarantee if self.result is not None else None
+
+    @property
+    def provenance(self) -> Optional[Provenance]:
+        """The provenance record of the backing result (if available)."""
+        return self.result.provenance if self.result is not None else None
 
     def describe(self) -> str:
         """Return a one-line human-readable description."""
@@ -65,9 +97,16 @@ class QueryInterpreter:
         Either a :class:`RelationalSchema`, an :class:`ERSchema`, or a
         bare :class:`BipartiteGraph` (when the caller already has the
         schema graph).
+    service:
+        Advanced: an existing :class:`~repro.api.service.ConnectionService`
+        to share (its engine and schema cache are reused).
     """
 
-    def __init__(self, schema: Union[RelationalSchema, ERSchema, BipartiteGraph]) -> None:
+    def __init__(
+        self,
+        schema: Union[RelationalSchema, ERSchema, BipartiteGraph],
+        service: Optional[ConnectionService] = None,
+    ) -> None:
         self._relational: Optional[RelationalSchema] = None
         if isinstance(schema, RelationalSchema):
             self._relational = schema
@@ -81,7 +120,10 @@ class QueryInterpreter:
             raise ValidationError(
                 "schema must be a RelationalSchema, an ERSchema or a BipartiteGraph"
             )
-        self._finder = MinimalConnectionFinder(self._graph)
+        if service is None:
+            service = ConnectionService(schema=self._graph)
+        self._service = service
+        self._finder = None  # back-compat wrapper, built on demand
 
     # ------------------------------------------------------------------
     # schema access
@@ -92,8 +134,22 @@ class QueryInterpreter:
         return self._graph
 
     @property
-    def finder(self) -> MinimalConnectionFinder:
-        """The underlying :class:`MinimalConnectionFinder`."""
+    def service(self) -> ConnectionService:
+        """The :class:`~repro.api.service.ConnectionService` answering queries."""
+        return self._service
+
+    @property
+    def finder(self):
+        """Back-compat :class:`~repro.core.connection.MinimalConnectionFinder`.
+
+        .. deprecated:: 1.2.0
+            Use :attr:`service` instead; the finder is a thin wrapper that
+            shares this interpreter's service.
+        """
+        if self._finder is None:
+            from repro.core.connection import MinimalConnectionFinder
+
+            self._finder = MinimalConnectionFinder(self._graph, service=self._service)
         return self._finder
 
     def known_objects(self) -> Set:
@@ -117,21 +173,23 @@ class QueryInterpreter:
     def minimal_interpretation(self, query: Iterable) -> Interpretation:
         """Return the minimal-connection interpretation of the query."""
         objects = self._resolve(query)
-        solution = self._finder.minimal_connection(objects)
-        return Interpretation(solution=solution, query_objects=objects, rank=1)
+        result = self._service.connect(objects, schema=self._graph)
+        return Interpretation.from_result(result, query_objects=objects, rank=1)
 
     def interpretations(self, query: Iterable, limit: int = 3) -> List[Interpretation]:
         """Return up to ``limit`` interpretations ordered by increasing size.
 
         The first entry is a minimal connection; subsequent entries use
         more auxiliary objects and correspond to the alternatives an
-        interactive interface would progressively disclose.
+        interactive interface would progressively disclose.  For a pull-
+        based interface use ``service.enumerate(...)`` directly -- the
+        stream is resumable and budget-aware.
         """
         objects = self._resolve(query)
-        solutions = self._finder.ranked_connections(objects, limit=limit)
+        stream = self._service.enumerate(objects, schema=self._graph, budget=limit)
         return [
-            Interpretation(solution=solution, query_objects=objects, rank=index + 1)
-            for index, solution in enumerate(solutions)
+            Interpretation.from_result(result, query_objects=objects, rank=result.rank)
+            for result in stream
         ]
 
     def fewest_relations_interpretation(
@@ -144,8 +202,10 @@ class QueryInterpreter:
         the full minimal-connection problem is NP-hard (Theorem 2).
         """
         objects = self._resolve(query)
-        solution = self._finder.minimal_side_connection(objects, side=relation_side)
-        return Interpretation(solution=solution, query_objects=objects, rank=1)
+        result = self._service.connect(
+            objects, objective="side", side=relation_side, schema=self._graph
+        )
+        return Interpretation.from_result(result, query_objects=objects, rank=1)
 
     # ------------------------------------------------------------------
     # execution against a database instance

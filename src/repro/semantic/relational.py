@@ -16,7 +16,7 @@ acyclicity / chordality classifications the rest of the library provides.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping
 
 from repro.core.classification import ChordalityReport, classify_bipartite_graph
 from repro.exceptions import ValidationError

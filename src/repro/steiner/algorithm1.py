@@ -29,7 +29,7 @@ from typing import Iterable, List, Optional, Set
 from repro.chordality.side_chordal import is_side_chordal_and_conformal
 from repro.exceptions import NotApplicableError, ValidationError
 from repro.graphs.bipartite import BipartiteGraph
-from repro.graphs.graph import Graph, Vertex
+from repro.graphs.graph import Vertex
 from repro.graphs.spanning import spanning_tree
 from repro.graphs.traversal import component_containing
 from repro.hypergraphs.conversions import hypergraph_of_side

@@ -18,11 +18,11 @@ returned solution is then flagged as not guaranteed optimal.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Set
+from typing import Iterable, Optional, Sequence
 
 from repro.chordality.mn_chordal import is_62_chordal_bipartite
 from repro.core.covers import greedy_elimination_cover
-from repro.exceptions import NotApplicableError, ValidationError
+from repro.exceptions import NotApplicableError
 from repro.graphs.bipartite import BipartiteGraph, is_bipartite
 from repro.graphs.graph import Graph, Vertex
 from repro.graphs.spanning import spanning_tree

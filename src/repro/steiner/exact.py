@@ -16,7 +16,7 @@ minimising the number of edges with unit edge weights.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.exceptions import DisconnectedTerminalsError
 from repro.graphs.graph import Graph, Vertex

@@ -17,7 +17,7 @@ from typing import Iterable, Optional
 
 from repro.exceptions import DisconnectedTerminalsError, ValidationError
 from repro.graphs.bipartite import BipartiteGraph
-from repro.graphs.graph import Graph, Vertex
+from repro.graphs.graph import Vertex
 from repro.graphs.spanning import spanning_tree
 from repro.graphs.traversal import component_containing, vertices_in_same_component
 from repro.steiner.problem import (

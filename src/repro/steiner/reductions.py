@@ -26,8 +26,7 @@ is provided as well.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import combinations
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.exceptions import ValidationError
 from repro.graphs.bipartite import BipartiteGraph

@@ -9,7 +9,8 @@ when a seed is supplied and convenient when it is not.
 from __future__ import annotations
 
 import random
-from typing import Optional, Union
+from typing import Union
+
 
 RandomLike = Union[None, int, random.Random]
 

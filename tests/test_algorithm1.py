@@ -12,7 +12,7 @@ from repro.datasets.generators import (
     random_terminals,
 )
 from repro.exceptions import NotApplicableError, ValidationError
-from repro.graphs import BipartiteGraph, even_cycle_bipartite
+from repro.graphs import even_cycle_bipartite
 from repro.hypergraphs import hypergraph_of_side, satisfies_suffix_running_intersection
 from repro.steiner import (
     lemma1_ordering,

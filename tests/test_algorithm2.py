@@ -14,7 +14,6 @@ from repro.exceptions import NotApplicableError
 from repro.graphs import (
     even_cycle_bipartite,
     is_minimum_path,
-    is_nonredundant_path,
     nonredundant_paths,
 )
 from repro.steiner import (

@@ -30,7 +30,6 @@ from repro.graphs import (
     complete_graph,
     cycle_graph,
     even_cycle_bipartite,
-    path_graph,
     random_bipartite,
     random_graph,
 )

@@ -72,7 +72,10 @@ class TestFinderDispatch:
         finder = MinimalConnectionFinder(graph)
         terminals = random_terminals(graph, 3, rng=seed)
         solution = finder.minimal_side_connection(terminals, side=2)
-        assert solution.method == "algorithm1"
+        # dispatch now flows through the engine: the planner must have
+        # picked the Algorithm 1 fast lane, not a fallback
+        assert solution.metadata.get("solver") == "algorithm1-indexed"
+        assert solution.method == "engine-algorithm1"
         assert solution.optimal
 
     def test_ranked_connections_are_sorted_and_distinct(self):
@@ -91,3 +94,25 @@ class TestFinderDispatch:
         finder = MinimalConnectionFinder(graph)
         assert finder.report is finder.report
         assert finder.graph is graph
+
+    def test_finder_is_a_service_wrapper(self):
+        """The wrapper owns no dispatch: everything goes through its service."""
+        from repro.api import ConnectionService
+
+        graph = complete_bipartite(2, 2)
+        finder = MinimalConnectionFinder(graph)
+        assert isinstance(finder.service, ConnectionService)
+        solution = finder.minimal_connection([("l", 0), ("r", 0)])
+        # provenance written by the engine's execute_plan, proving the path
+        assert "solver" in solution.metadata and "plan" in solution.metadata
+
+    def test_finder_limits_reach_the_planner(self):
+        """Constructor kwargs become the service config's dispatch thresholds."""
+        cycle = even_cycle_bipartite(10)
+        # forbid the exact fallbacks entirely: only KMB remains applicable
+        finder = MinimalConnectionFinder(
+            cycle, exact_terminal_limit=0, exact_vertex_limit=0
+        )
+        solution = finder.minimal_connection([0, 5])
+        assert solution.metadata.get("solver") == "kmb"
+        assert not solution.optimal

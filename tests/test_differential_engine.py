@@ -33,6 +33,7 @@ from strategies import (
     small_graphs,
 )
 
+from repro.api import ConnectionService, Guarantee
 from repro.chordality import is_chordal
 from repro.chordality.lexbfs import lexbfs_elimination_ordering
 from repro.chordality.mcs import mcs_elimination_ordering
@@ -54,6 +55,17 @@ from repro.steiner import (
 )
 
 SETTINGS = common_settings(max_examples=25)
+
+#: Registry names whose answers are exact for their objective; a result may
+#: carry ``guarantee=OPTIMAL`` only when it was produced by one of these
+#: (or by the rank-1 entry of the exhaustive enumeration stream).
+EXACT_SOLVERS = {
+    "chordal-elimination",
+    "algorithm1-indexed",
+    "dreyfus-wagner",
+    "bruteforce",
+    "pseudo-bruteforce",
+}
 
 
 # ----------------------------------------------------------------------
@@ -222,6 +234,83 @@ def test_engine_algorithm1_cover_identical_to_generic(data, graph):
     batched = engine.interpret(graph, terminals, objective="side", side=2)
     if batched.metadata.get("solver") == "algorithm1-indexed":
         assert batched.metadata["cover"] == generic.metadata["cover"]
+
+
+# ----------------------------------------------------------------------
+# wrapper vs. service vs. oracle: one dispatch path, honest guarantees
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(st.data(), st.one_of(bipartite_graphs(), chordal_bipartite_graphs()))
+def test_wrapper_and_service_identical_steiner(data, graph):
+    """`MinimalConnectionFinder` is a pure wrapper: byte-identical trees.
+
+    Both paths run the same planner/registry/cache, so not just the costs
+    but the actual vertex and edge sets must coincide; the exhaustive
+    oracle then pins any OPTIMAL claim to the true minimum.
+    """
+    terminals = draw_terminals(data.draw, graph, max_terminals=3)
+    if not terminals or not vertices_in_same_component(graph, terminals):
+        return
+    finder = MinimalConnectionFinder(graph)
+    service = ConnectionService(schema=graph)
+    wrapped = finder.minimal_connection(terminals)
+    direct = service.connect(terminals)
+    assert wrapped.vertex_count() == direct.cost
+    assert wrapped.tree.vertices() == direct.tree.vertices()
+    assert wrapped.tree.edge_set() == direct.tree.edge_set()
+    # provenance is complete and the guarantee discipline holds
+    assert direct.provenance.solver
+    assert direct.provenance.instance_class in {"chordal", "side-chordal", "general"}
+    if direct.guarantee is Guarantee.OPTIMAL:
+        assert direct.provenance.solver in EXACT_SOLVERS
+        oracle = steiner_tree_bruteforce(graph, terminals)
+        assert direct.cost == oracle.vertex_count()
+
+
+@SETTINGS
+@given(st.data(), st.one_of(bipartite_graphs(), alpha_schema_graphs()))
+def test_wrapper_and_service_identical_side(data, graph):
+    terminals = draw_terminals(data.draw, graph, max_terminals=3)
+    if not terminals or not vertices_in_same_component(graph, terminals):
+        return
+    finder = MinimalConnectionFinder(graph)
+    service = ConnectionService(schema=graph)
+    wrapped = finder.minimal_side_connection(terminals, side=2)
+    direct = service.connect(terminals, objective="side", side=2)
+    assert wrapped.side_count(2) == direct.side_cost
+    assert wrapped.tree.vertices() == direct.tree.vertices()
+    assert wrapped.tree.edge_set() == direct.tree.edge_set()
+    if direct.guarantee is Guarantee.OPTIMAL:
+        assert direct.provenance.solver in EXACT_SOLVERS
+        oracle = pseudo_steiner_bruteforce(graph, terminals, 2)
+        assert direct.side_cost == oracle.side_count(2)
+    else:
+        assert direct.provenance.solver == "kmb"
+
+
+@SETTINGS
+@given(st.data(), st.one_of(bipartite_graphs(), chordal_bipartite_graphs()))
+def test_enumeration_stream_sizes_never_decrease(data, graph):
+    """The stream yields distinct connections in non-decreasing size.
+
+    The rank-1 entry must be a true minimum (exhaustive-oracle check) and
+    the only one allowed to claim ``OPTIMAL``.
+    """
+    terminals = draw_terminals(data.draw, graph, min_terminals=2, max_terminals=3)
+    if not terminals or not vertices_in_same_component(graph, terminals):
+        return
+    service = ConnectionService(schema=graph)
+    results = list(service.enumerate(terminals, budget=6))
+    assert results, "a feasible instance always has at least one connection"
+    costs = [result.cost for result in results]
+    assert costs == sorted(costs)
+    vertex_sets = {frozenset(result.tree.vertices()) for result in results}
+    assert len(vertex_sets) == len(results)
+    oracle = steiner_tree_bruteforce(graph, terminals)
+    assert costs[0] == oracle.vertex_count()
+    for result in results:
+        result.validate()
+        assert (result.guarantee is Guarantee.OPTIMAL) == (result.rank == 1)
 
 
 # ----------------------------------------------------------------------

@@ -1,6 +1,5 @@
 """Every figure instance has exactly the properties the paper ascribes to it."""
 
-import pytest
 
 from repro.chordality import (
     is_41_chordal_bipartite,

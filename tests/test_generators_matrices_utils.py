@@ -1,6 +1,5 @@
 """Tests for graph generators, matrix views and small utilities."""
 
-import numpy as np
 import pytest
 
 from repro.graphs import (
