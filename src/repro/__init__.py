@@ -24,10 +24,16 @@ The package provides:
 * the typed service façade (``repro.api``): ``ConnectionService`` with
   ``ConnectionRequest``/``ConnectionResult`` objects (optimality
   guarantees, provenance) and the resumable ``EnumerationStream`` for
-  interactive disambiguation -- the recommended entry point.
+  interactive disambiguation -- the recommended entry point,
+* the parallel/persistent runtime (``repro.runtime``):
+  ``ParallelExecutor`` shards batches across a process pool,
+  ``DiskCache`` persists classifications and results across processes
+  (``ServiceConfig(cache_dir=...)``), and ``WorkloadSpec`` +
+  ``python -m repro run`` execute declarative workloads end to end.
 
 The most common entry points are re-exported here; see ``README.md`` for a
-guided tour and ``DESIGN.md`` for the experiment index.
+guided tour and the ``docs/`` site for the architecture, scenario and
+runtime guides.
 """
 
 from repro.api import (
@@ -70,7 +76,7 @@ from repro.exceptions import (
     ReproError,
     ValidationError,
 )
-from repro.engine import InterpretationEngine, batch_interpret
+from repro.engine import InterpretationEngine, batch_interpret, schema_digest
 from repro.graphs import (
     BipartiteGraph,
     Graph,
@@ -94,6 +100,13 @@ from repro.semantic import (
     Relation,
     RelationalSchema,
 )
+from repro.runtime import (
+    DiskCache,
+    ParallelExecutor,
+    WorkloadReport,
+    WorkloadSpec,
+    run_workload,
+)
 from repro.steiner import (
     SteinerInstance,
     SteinerSolution,
@@ -104,7 +117,7 @@ from repro.steiner import (
     steiner_tree_dreyfus_wagner,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BipartiteGraph",
@@ -115,6 +128,7 @@ __all__ = [
     "ConnectionService",
     "Database",
     "DisconnectedTerminalsError",
+    "DiskCache",
     "ERSchema",
     "EnumerationStream",
     "Graph",
@@ -127,6 +141,7 @@ __all__ = [
     "InterpretationEngine",
     "MinimalConnectionFinder",
     "NotApplicableError",
+    "ParallelExecutor",
     "Provenance",
     "QueryInterpreter",
     "Relation",
@@ -136,6 +151,8 @@ __all__ = [
     "SteinerInstance",
     "SteinerSolution",
     "ValidationError",
+    "WorkloadReport",
+    "WorkloadSpec",
     "acyclicity_degree",
     "batch_interpret",
     "chordality_class",
@@ -161,6 +178,8 @@ __all__ = [
     "minimum_cover_size",
     "pseudo_steiner_algorithm1",
     "pseudo_steiner_bruteforce",
+    "run_workload",
+    "schema_digest",
     "steiner_algorithm2",
     "steiner_tree_bruteforce",
     "steiner_tree_dreyfus_wagner",

@@ -1,0 +1,6 @@
+"""``python -m repro``: the workload-runner CLI (see :mod:`repro.runtime.cli`)."""
+
+from repro.runtime.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

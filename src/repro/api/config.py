@@ -10,8 +10,9 @@ once and hand it to every service instance.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Optional, Union
 
 from repro.exceptions import ValidationError
 
@@ -40,6 +41,14 @@ class ServiceConfig:
     enumeration_max_extra:
         Default bound on the number of auxiliary vertices enumeration will
         explore (``None`` = all of them).
+    cache_dir:
+        Opt-in directory for the persistent result cache
+        (:class:`~repro.runtime.diskcache.DiskCache`).  When set, the
+        service stores every classification report and every
+        :class:`~repro.api.result.ConnectionResult` on disk, keyed by the
+        schema's structural digest and the request, and serves repeat
+        requests from disk across processes and interpreter restarts.
+        ``None`` (the default) keeps the service purely in-memory.
     """
 
     exact_terminal_limit: int = 8
@@ -48,6 +57,7 @@ class ServiceConfig:
     default_side: int = 2
     enumeration_budget: Optional[int] = None
     enumeration_max_extra: Optional[int] = None
+    cache_dir: Optional[Union[str, os.PathLike]] = None
 
     def __post_init__(self) -> None:
         if self.exact_terminal_limit < 0 or self.exact_vertex_limit < 0:
@@ -56,6 +66,10 @@ class ServiceConfig:
             raise ValidationError("cache_size must be positive")
         if self.default_side not in (1, 2):
             raise ValidationError("default_side must be 1 or 2")
+        if self.cache_dir is not None and not isinstance(
+            self.cache_dir, (str, os.PathLike)
+        ):
+            raise ValidationError("cache_dir must be a path string (or None)")
         if self.enumeration_budget is not None and self.enumeration_budget < 0:
             raise ValidationError("enumeration_budget must be non-negative")
         if self.enumeration_max_extra is not None and self.enumeration_max_extra < 0:

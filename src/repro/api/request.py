@@ -89,6 +89,30 @@ class ConnectionRequest:
         if self.side is not None and self.side not in (1, 2):
             raise ValidationError("side must be 1 or 2")
 
+    def __repr__(self) -> str:
+        """Return a compact repr: defaulted fields are omitted, schemas elided.
+
+        The dataclass-generated repr would embed the full repr of the
+        attached schema handle (hundreds of vertices); this one keeps log
+        lines and doc snippets readable.
+        """
+        parts = [f"terminals={self.terminals!r}", f"objective={self.objective!r}"]
+        if self.side is not None:
+            parts.append(f"side={self.side}")
+        if self.schema is not None:
+            parts.append(f"schema=<{type(self.schema).__name__}>")
+        if self.solver is not None:
+            parts.append(f"solver={self.solver!r}")
+        if self.policy != "auto":
+            parts.append(f"policy={self.policy!r}")
+        if self.exact_terminal_limit is not None:
+            parts.append(f"exact_terminal_limit={self.exact_terminal_limit}")
+        if self.exact_vertex_limit is not None:
+            parts.append(f"exact_vertex_limit={self.exact_vertex_limit}")
+        if self.tags:
+            parts.append(f"tags={self.tags!r}")
+        return f"ConnectionRequest({', '.join(parts)})"
+
     @classmethod
     def of(
         cls,

@@ -50,8 +50,17 @@ class Provenance:
         (``None`` when the primary solver succeeded).
     wall_time_ms:
         End-to-end service-side latency of this answer in milliseconds.
+        For answers computed by a pool worker this is the worker-side
+        solve time; for answers replayed from the persistent cache it is
+        the original computation's time.
     tags:
         The request's free-form annotations, echoed back.
+    result_cache:
+        ``"disk"`` when this answer was replayed from the persistent
+        :class:`~repro.runtime.diskcache.DiskCache` rather than computed in
+        this process; ``None`` for freshly computed answers.  Orthogonal to
+        ``cache_hit``, which describes the in-memory *schema-context* LRU
+        of the computation that originally produced the answer.
     """
 
     solver: str
@@ -61,6 +70,7 @@ class Provenance:
     fallback_from: Optional[str] = None
     wall_time_ms: float = 0.0
     tags: dict = field(default_factory=dict)
+    result_cache: Optional[str] = None
 
     def to_dict(self, include_timing: bool = True) -> dict:
         """Return a JSON-serialisable record (timing is droppable for fixtures)."""
@@ -75,6 +85,8 @@ class Provenance:
             record["wall_time_ms"] = self.wall_time_ms
         if self.tags:
             record["tags"] = dict(self.tags)
+        if self.result_cache is not None:
+            record["result_cache"] = self.result_cache
         return record
 
 
@@ -151,3 +163,20 @@ class ConnectionResult:
         if self.request.objective == "side":
             record["side_cost"] = self.side_cost
         return record
+
+    def __repr__(self) -> str:
+        """Return a compact, log-friendly summary (the dataclass default would dump the schema)."""
+        parts = [
+            f"cost={self.cost}",
+            f"guarantee={self.guarantee.value!r}",
+            f"solver={self.provenance.solver!r}",
+        ]
+        if self.request.objective != "steiner":
+            parts.append(f"objective={self.request.objective!r}")
+            parts.append(f"side_cost={self.side_cost}")
+        if self.rank != 1:
+            parts.append(f"rank={self.rank}")
+        if self.provenance.result_cache is not None:
+            parts.append(f"result_cache={self.provenance.result_cache!r}")
+        parts.append(f"terminals={self.request.terminals!r}")
+        return f"ConnectionResult({', '.join(parts)})"

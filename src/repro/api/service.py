@@ -114,6 +114,13 @@ class ConnectionService:
         # see _context for the caching contract
         self._bound_context = None
         self._bound_version = None
+        # persistent-layer state: the DiskCache handle (lazy; None when
+        # config.cache_dir is unset) and the bound schema's structural
+        # digest, memoised on the same mutation_version contract as the
+        # bound context
+        self._disk = None
+        self._bound_digest = None
+        self._bound_digest_version = None
 
     # ------------------------------------------------------------------
     # introspection
@@ -138,8 +145,92 @@ class ConnectionService:
         return self._context(schema)[0].report
 
     def cache_stats(self) -> dict:
-        """Return schema-cache observability counters (hits/misses/size)."""
-        return self._engine.cache_stats()
+        """Return schema-cache observability counters (hits/misses/size).
+
+        When a persistent cache is configured (``config.cache_dir``) its
+        counters are included under the ``"disk"`` key.
+        """
+        stats = self._engine.cache_stats()
+        disk = self._disk_cache()
+        if disk is not None:
+            stats["disk"] = disk.stats()
+        return stats
+
+    # ------------------------------------------------------------------
+    # persistent layer (opt-in via config.cache_dir)
+    # ------------------------------------------------------------------
+    def _disk_cache(self):
+        """Return the lazily constructed DiskCache (``None`` when disabled)."""
+        if self._config.cache_dir is None:
+            return None
+        if self._disk is None:
+            # function-level import: repro.runtime sits above repro.api in
+            # the layering, so the api package must not import it at load
+            from repro.runtime.diskcache import DiskCache
+
+            self._disk = DiskCache(self._config.cache_dir)
+        return self._disk
+
+    def _digest_of(self, schema: Any) -> str:
+        """Return the structural digest of a schema handle (memoised when bound)."""
+        from repro.engine.cache import schema_digest
+
+        chosen = schema if schema is not None else self._schema
+        if chosen is self._schema and chosen is not None:
+            version = getattr(chosen, "mutation_version", None)
+            if self._bound_digest is not None and version == self._bound_digest_version:
+                return self._bound_digest
+            digest = schema_digest(self._engine.resolve_schema(chosen))
+            self._bound_digest = digest
+            self._bound_digest_version = version
+            return digest
+        return schema_digest(self._engine.resolve_schema(chosen))
+
+    def _disk_lookup(self, disk, request: ConnectionRequest, digest: str):
+        """Return the replayed :class:`ConnectionResult` for a disk hit, else ``None``."""
+        from repro.runtime.codec import decode_result, request_key
+
+        key = request_key(request, self._config)
+        payload = disk.load_result(digest, key)
+        if payload is None:
+            return None
+        try:
+            return decode_result(
+                payload,
+                graph=self._engine.resolve_schema(
+                    request.schema if request.schema is not None else self._schema
+                ),
+                request=request,
+                result_cache="disk",
+            )
+        except Exception:
+            # a structurally valid cache file with a semantically broken
+            # payload (e.g. written by a buggy or foreign producer) is a
+            # miss, never a crash -- the request is simply recomputed
+            disk.invalid += 1
+            return None
+
+    def _disk_replay_scan(
+        self, disk, materialised: "List[ConnectionRequest]", digest: str
+    ) -> dict:
+        """Return ``{position: replayed result}`` for every stored answer.
+
+        The shared first stage of the serial and parallel batch paths:
+        positions absent from the returned dict are the ones that must be
+        computed (and then stored via :meth:`_disk_store`).
+        """
+        replayed: dict = {}
+        for position, request in enumerate(materialised):
+            replay = self._disk_lookup(disk, request, digest)
+            if replay is not None:
+                replayed[position] = replay
+        return replayed
+
+    def _disk_store(self, disk, request: ConnectionRequest, digest: str, result) -> None:
+        """Persist one freshly computed result (best-effort, never raises)."""
+        from repro.runtime.codec import encode_result, request_key
+
+        disk.store_result(digest, request_key(request, self._config), encode_result(result))
 
     # ------------------------------------------------------------------
     # request plumbing
@@ -153,7 +244,7 @@ class ConnectionService:
             return request
         return ConnectionRequest.of(request, **kwargs)
 
-    def _context(self, schema: Any):
+    def _context(self, schema: Any, digest: Optional[str] = None):
         chosen = schema if schema is not None else self._schema
         if chosen is None:
             raise ValidationError(
@@ -173,13 +264,31 @@ class ConnectionService:
                 # keep cache_stats() consistent with the cache_hit flag
                 self._engine.cache.count_external_hit()
                 return self._bound_context, True
-            context, hit = self._engine.context_with_status(
-                self._engine.resolve_schema(chosen)
-            )
+            context, hit = self._build_context(chosen, digest)
             self._bound_context = context
             self._bound_version = version
             return context, hit
-        return self._engine.context_with_status(chosen)
+        return self._build_context(chosen, digest)
+
+    def _build_context(self, schema: Any, digest: Optional[str] = None):
+        """LRU lookup with a disk-seeded classification on cold misses.
+
+        When the persistent cache holds the schema's classification report
+        (stored by any earlier process), a cold context rebuild skips the
+        Theorem 1 recognition entirely -- on large schemas that is the
+        difference between milliseconds and tens of seconds.  The report
+        file is only read on an actual LRU miss, and a caller that already
+        computed the schema ``digest`` passes it in to avoid a second
+        fingerprint pass.
+        """
+        resolved = self._engine.resolve_schema(schema)
+        disk = self._disk_cache()
+        if disk is None:
+            return self._engine.cache.lookup(resolved)
+        chosen_digest = digest if digest is not None else self._digest_of(schema)
+        return self._engine.cache.lookup(
+            resolved, report_factory=lambda: disk.load_report(chosen_digest)
+        )
 
     def _plan(self, context: SchemaContext, request: ConnectionRequest, side: int) -> QueryPlan:
         plan = plan_query(
@@ -285,11 +394,22 @@ class ConnectionService:
         """
         req = self._materialise(request, **kwargs)
         started = perf_counter()
-        context, cache_hit = self._context(req.schema)
+        disk = self._disk_cache()
+        digest = None
+        if disk is not None:
+            digest = self._digest_of(req.schema)
+            replay = self._disk_lookup(disk, req, digest)
+            if replay is not None:
+                return replay
+        context, cache_hit = self._context(req.schema, digest)
         side = self._side_of(req)
         plan = self._plan(context, req, side)
         solution = self._engine.execute_plan(context, plan, list(req.terminals), side)
-        return self._finish(req, plan, solution, cache_hit, started)
+        result = self._finish(req, plan, solution, cache_hit, started)
+        if disk is not None:
+            disk.store_report(digest, context.report)
+            self._disk_store(disk, req, digest, result)
+        return result
 
     # ------------------------------------------------------------------
     # batches
@@ -316,6 +436,56 @@ class ConnectionService:
         batch and no partial results are returned.  Callers that want
         per-query error isolation should loop over :meth:`connect`.
         """
+        materialised = self._materialise_batch(
+            requests, objective=objective, side=side, policy=policy
+        )
+        batch_schema = self._batch_schema(materialised, schema)
+        disk = self._disk_cache()
+        digest = self._digest_of(batch_schema) if disk is not None else None
+        replayed = (
+            self._disk_replay_scan(disk, materialised, digest)
+            if disk is not None
+            else {}
+        )
+        context = None
+        cache_hit = False
+        results: List[ConnectionResult] = []
+        for position, request in enumerate(materialised):
+            if position in replayed:
+                results.append(replayed[position])
+                continue
+            if context is None:
+                context, cache_hit = self._context(batch_schema, digest)
+            query_started = perf_counter()
+            request_side = self._side_of(request)
+            plan = self._plan(context, request, request_side)
+            solution = self._engine.execute_plan(
+                context, plan, list(request.terminals), request_side
+            )
+            result = self._finish(request, plan, solution, cache_hit, query_started)
+            results.append(result)
+            if disk is not None:
+                self._disk_store(disk, request, digest, result)
+            # every query after the first reuses the context by construction
+            cache_hit = True
+        if disk is not None and context is not None:
+            disk.store_report(digest, context.report)
+        return results
+
+    def _materialise_batch(
+        self,
+        requests: Iterable[RequestLike],
+        *,
+        objective: str = "steiner",
+        side: Optional[int] = None,
+        policy: str = "auto",
+    ) -> List[ConnectionRequest]:
+        """Normalise a mixed batch into :class:`ConnectionRequest` objects.
+
+        Shared by :meth:`batch` and the parallel executor
+        (:class:`~repro.runtime.parallel.ParallelExecutor`) so both paths
+        apply identical validation and keyword fill-in semantics.
+        """
         requests = list(requests)
         if (objective != "steiner" or side is not None or policy != "auto") and any(
             isinstance(request, ConnectionRequest) for request in requests
@@ -328,7 +498,7 @@ class ConnectionService:
                 "iterables; set objective/side/policy on the ConnectionRequest "
                 "objects themselves"
             )
-        materialised: List[ConnectionRequest] = [
+        return [
             request
             if isinstance(request, ConnectionRequest)
             else ConnectionRequest.of(
@@ -336,6 +506,11 @@ class ConnectionService:
             )
             for request in requests
         ]
+
+    def _batch_schema(
+        self, materialised: List[ConnectionRequest], schema: Any = None
+    ) -> Any:
+        """Return the single schema handle a batch answers (validating agreement)."""
         batch_schema = schema if schema is not None else self._schema
         batch_fingerprint = None
         for request in materialised:
@@ -359,21 +534,12 @@ class ConnectionService:
                             "batch() answers one schema at a time; use connect() "
                             "for mixed-schema traffic"
                         )
-        context, cache_hit = self._context(batch_schema)
-        results: List[ConnectionResult] = []
-        for request in materialised:
-            query_started = perf_counter()
-            request_side = self._side_of(request)
-            plan = self._plan(context, request, request_side)
-            solution = self._engine.execute_plan(
-                context, plan, list(request.terminals), request_side
+        if batch_schema is None:
+            raise ValidationError(
+                "no schema: bind one at construction time "
+                "(ConnectionService(schema=...)) or put it on the request"
             )
-            results.append(
-                self._finish(request, plan, solution, cache_hit, query_started)
-            )
-            # every query after the first reuses the context by construction
-            cache_hit = True
-        return results
+        return batch_schema
 
     # ------------------------------------------------------------------
     # streaming enumeration
@@ -390,7 +556,10 @@ class ConnectionService:
 
         ``budget`` caps how many connections the stream yields before
         pausing (resumable via
-        :meth:`~repro.api.stream.EnumerationStream.extend_budget`);
+        :meth:`~repro.api.stream.EnumerationStream.extend_budget`; a pause
+        and true exhaustion both raise ``StopIteration`` -- check
+        :attr:`~repro.api.stream.EnumerationStream.paused` to tell them
+        apart, see the class docstring for the full resume contract);
         ``max_extra`` bounds the auxiliary-vertex counts explored.  Both
         default to the service config.
 

@@ -82,6 +82,27 @@ class EnumerationStream:
     underlying enumeration state is kept, so :meth:`extend_budget` followed
     by further iteration continues exactly where the stream stopped.
     :meth:`take` pulls one page of results.
+
+    Budget-exhaustion resume semantics (the precise contract):
+
+    * A budget pause and true exhaustion both surface as ``StopIteration``
+      -- a ``for`` loop cannot tell them apart.  Inspect :attr:`paused`
+      (equivalently ``budget_remaining == 0`` with :attr:`exhausted` still
+      ``False``) to distinguish "come back with more budget" from "there
+      are no further connections".  At the exact boundary -- the budget
+      ran out on the last connection that exists -- :attr:`paused` is a
+      false positive (the stream has not yet *attempted* the next
+      connection, so it cannot know none remains); the next pull after
+      :meth:`extend_budget` settles it by flipping :attr:`exhausted`.
+    * :meth:`extend_budget` re-arms a paused stream; the next ``next()``
+      yields exactly the connection that would have come next -- no
+      repeats, no gaps, and the non-decreasing cost order is preserved
+      across the pause.  ``rank`` keeps counting from where it stopped.
+    * On an unbounded stream (``budget=None``) :meth:`extend_budget` is a
+      no-op, and once :attr:`exhausted` is ``True`` no amount of budget
+      yields further results.
+    * ``budget=0`` is valid: the stream starts paused and yields nothing
+      until extended.
     """
 
     def __init__(
@@ -132,6 +153,23 @@ class EnumerationStream:
     def exhausted(self) -> bool:
         """``True`` once the enumeration itself (not just the budget) ran dry."""
         return self._exhausted
+
+    @property
+    def paused(self) -> bool:
+        """``True`` when the stream stopped on budget, not (known) exhaustion.
+
+        A paused stream resumes after :meth:`extend_budget`; an exhausted
+        one never yields again.  ``StopIteration`` alone cannot tell the
+        two apart -- this flag can, with one caveat: when the budget runs
+        out on the very last existing connection, the stream has not yet
+        attempted the next one, so ``paused`` stays ``True`` until a pull
+        after :meth:`extend_budget` discovers the well is dry.
+        """
+        return (
+            not self._exhausted
+            and self._budget is not None
+            and self._yielded >= self._budget
+        )
 
     def extend_budget(self, extra: int) -> None:
         """Allow ``extra`` more connections, resuming a budget-paused stream."""

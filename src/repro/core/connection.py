@@ -79,7 +79,7 @@ class MinimalConnectionFinder:
         warnings.warn(
             "MinimalConnectionFinder is deprecated since 1.2.0; use "
             "repro.api.ConnectionService (typed results with guarantees and "
-            "provenance) -- see the README migration guide",
+            "provenance) -- see docs/migration.md for the call-site table",
             DeprecationWarning,
             stacklevel=2,
         )

@@ -25,7 +25,13 @@ to each other and to the exhaustive oracles.
 """
 
 from repro.engine.batch import InterpretationEngine, batch_interpret, default_engine
-from repro.engine.cache import LRUCache, SchemaCache, SchemaContext, schema_fingerprint
+from repro.engine.cache import (
+    LRUCache,
+    SchemaCache,
+    SchemaContext,
+    schema_digest,
+    schema_fingerprint,
+)
 from repro.engine.planner import QueryPlan, plan_query
 from repro.engine.registry import InstanceClass, SolverRegistry, default_registry
 
@@ -41,5 +47,6 @@ __all__ = [
     "default_engine",
     "default_registry",
     "plan_query",
+    "schema_digest",
     "schema_fingerprint",
 ]

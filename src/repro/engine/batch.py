@@ -107,6 +107,18 @@ class InterpretationEngine:
         graph = self._resolve_schema(schema)
         self._cache.get_or_build(graph, report=report)
 
+    def adopt_context(self, context: SchemaContext) -> SchemaContext:
+        """Adopt a prebuilt :class:`SchemaContext` into this engine's cache.
+
+        The context is registered under its own graph's structural
+        fingerprint, so subsequent queries on a structurally equal schema
+        hit it directly.  This is how pool workers warm-start from the
+        parent's transported shard state (see
+        :meth:`SchemaContext.from_shard_state`).
+        """
+        self._cache.adopt(context)
+        return context
+
     def resolve_schema(self, schema) -> BipartiteGraph:
         """Return the :class:`BipartiteGraph` behind any accepted schema handle."""
         return self._resolve_schema(schema)

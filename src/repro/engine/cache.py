@@ -24,6 +24,7 @@ later.  The cache is in-memory only and never persisted.
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
@@ -31,7 +32,7 @@ from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
 from repro.core.classification import ChordalityReport, classify_bipartite_graph
 from repro.graphs.bipartite import BipartiteGraph
 from repro.graphs.graph import Graph, Vertex
-from repro.graphs.indexed import GraphIndex, IndexedGraph, to_indexed
+from repro.graphs.indexed import GraphIndex, IndexedGraph, from_indexed, to_indexed
 
 
 class LRUCache:
@@ -93,6 +94,34 @@ def schema_fingerprint(graph: Graph) -> Tuple:
     )
 
 
+def schema_digest(graph: Graph) -> str:
+    """Return a stable hex digest of a schema graph's structure.
+
+    The digest hashes the same structural facts as :func:`schema_fingerprint`
+    (vertex reprs, edge reprs, bipartition labels) but canonically ordered
+    and serialised, so it is stable across processes and interpreter runs --
+    which the in-process fingerprint tuples (built on ``frozenset``) are
+    not.  The persistent layer (:class:`repro.runtime.diskcache.DiskCache`)
+    and the parallel executor's worker transport key everything on it:
+    mutating a graph changes its digest, which safely invalidates every
+    derived artifact.
+    """
+    hasher = hashlib.sha256()
+    for vertex_repr in sorted(repr(v) for v in graph.vertices()):
+        hasher.update(b"v")
+        hasher.update(vertex_repr.encode("utf-8", "backslashreplace"))
+    for edge_repr in sorted(
+        "|".join(sorted((repr(u), repr(v)))) for u, v in graph.edges()
+    ):
+        hasher.update(b"e")
+        hasher.update(edge_repr.encode("utf-8", "backslashreplace"))
+    if isinstance(graph, BipartiteGraph):
+        for side_repr in sorted(f"{graph.side_of(v)}:{v!r}" for v in graph.vertices()):
+            hasher.update(b"s")
+            hasher.update(side_repr.encode("utf-8", "backslashreplace"))
+    return hasher.hexdigest()
+
+
 @dataclass(frozen=True)
 class SidePlan:
     """Cached Algorithm 1 precomputation for one connected component.
@@ -124,6 +153,46 @@ class SchemaContext:
         self._bfs_rows = LRUCache(maxsize=4096)
         self._side_plans: Dict[Tuple[int, int], SidePlan] = {}
         self._components: Optional[List[FrozenSet[int]]] = None
+
+    # ------------------------------------------------------------------
+    # shard transport (parallel workers)
+    # ------------------------------------------------------------------
+    def shard_state(self) -> Tuple[IndexedGraph, GraphIndex, ChordalityReport]:
+        """Return the compact, picklable planner state of this context.
+
+        The triple ``(indexed, index, report)`` is everything a pool worker
+        needs to rebuild an equivalent context without re-deriving the
+        expensive parts: the CSR/bitset backend ships via
+        :class:`~repro.graphs.indexed.IndexedGraph`'s compact pickle, and
+        the classification report (the dominant cold cost) travels as-is.
+        Accessing this property forces the classification if it has not
+        run yet.  Per-query caches (BFS rows, side plans) are deliberately
+        not shipped -- each worker re-amortises them across its own shard.
+        """
+        return (self.indexed, self.index, self.report)
+
+    @classmethod
+    def from_shard_state(
+        cls,
+        indexed: IndexedGraph,
+        index: GraphIndex,
+        report: Optional[ChordalityReport] = None,
+    ) -> "SchemaContext":
+        """Rebuild a context from :meth:`shard_state` without re-deriving it.
+
+        The hashable-vertex graph is reconstructed from the indexed pair
+        (lossless by :func:`~repro.graphs.indexed.from_indexed`); the
+        indexed backend and the classification are adopted as-is.
+        """
+        context = cls.__new__(cls)
+        context.graph = from_indexed(indexed, index)
+        context.indexed = indexed
+        context.index = index
+        context._report = report
+        context._bfs_rows = LRUCache(maxsize=4096)
+        context._side_plans = {}
+        context._components = None
+        return context
 
     # ------------------------------------------------------------------
     # classification
@@ -219,17 +288,26 @@ class SchemaCache:
         self._contexts = LRUCache(maxsize=maxsize)
 
     def lookup(
-        self, graph: BipartiteGraph, report: Optional[ChordalityReport] = None
+        self,
+        graph: BipartiteGraph,
+        report: Optional[ChordalityReport] = None,
+        report_factory=None,
     ) -> Tuple[SchemaContext, bool]:
         """Return ``(context, cache_hit)`` for ``graph``, building on first use.
 
         The boolean feeds result provenance: ``True`` means the context was
         served from the LRU, ``False`` that it was (re)built for this call.
+        ``report_factory`` is a zero-argument callable consulted only on a
+        miss (and only when ``report`` is not given) -- it lets callers
+        with an *expensive* report source (e.g. a disk read) avoid paying
+        it on the hit path.
         """
         key = schema_fingerprint(graph)
         context = self._contexts.get(key)
         hit = context is not None
         if context is None:
+            if report is None and report_factory is not None:
+                report = report_factory()
             context = SchemaContext(graph, report=report)
             self._contexts.put(key, context)
         elif report is not None:
@@ -241,6 +319,16 @@ class SchemaCache:
     ) -> SchemaContext:
         """Return the cached context for ``graph``, building it on first use."""
         return self.lookup(graph, report=report)[0]
+
+    def adopt(self, context: SchemaContext) -> None:
+        """Insert a prebuilt context under its own graph's fingerprint.
+
+        Used by pool workers to seed their cache with a context rebuilt
+        from transported shard state
+        (:meth:`SchemaContext.from_shard_state`), so the first query pays
+        no classification or re-indexing.
+        """
+        self._contexts.put(schema_fingerprint(context.graph), context)
 
     def count_external_hit(self) -> None:
         """Record a context served from a caller-side memo above this cache.

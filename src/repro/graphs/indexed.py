@@ -60,6 +60,15 @@ class GraphIndex:
     def __len__(self) -> int:
         return len(self.labels)
 
+    def __getstate__(self) -> Tuple:
+        # ids is a pure derivative of labels; transporting only the label
+        # tuple halves the pickle payload for worker dispatch
+        return self.labels
+
+    def __setstate__(self, state: Tuple) -> None:
+        self.labels = tuple(state)
+        self.ids = {label: index for index, label in enumerate(self.labels)}
+
     def encode(self, vertices: Iterable) -> List[int]:
         """Map original vertex labels to integer ids (raises on unknowns)."""
         try:
@@ -328,6 +337,42 @@ class IndexedGraph:
     def copy(self) -> "IndexedGraph":
         """Return ``self`` -- :class:`IndexedGraph` is immutable."""
         return self
+
+    # ------------------------------------------------------------------
+    # pickling (worker transport)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        # ship only the canonical CSR arrays (compact, array-typed); the
+        # bitset rows and the per-vertex row cache are derived structures
+        # whose pickled size would dwarf the CSR payload, and rebuilding
+        # them from CSR is linear -- this is what makes shipping schemas
+        # to pool workers cheap
+        return {
+            "n": self.n,
+            "indptr": self.indptr,
+            "indices": self.indices,
+            "sides": self.sides,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.n = state["n"]
+        self.indptr = state["indptr"]
+        self.indices = state["indices"]
+        self.sides = state["sides"]
+        indptr, indices = self.indptr, self.indices
+        bits = [0] * self.n
+        rows: List[List[int]] = []
+        edge_count = 0
+        for u in range(self.n):
+            row = list(indices[indptr[u]: indptr[u + 1]])
+            rows.append(row)
+            for v in row:
+                bits[u] |= 1 << v
+                if v > u:
+                    edge_count += 1
+        self.bits = bits
+        self._rows = rows
+        self._edge_count = edge_count
 
     # ------------------------------------------------------------------
     # dunder protocol

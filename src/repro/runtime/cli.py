@@ -1,0 +1,166 @@
+"""Command-line entry point: ``python -m repro run <spec.json>``.
+
+The CLI executes a :class:`~repro.runtime.workload.WorkloadSpec` through
+the full phase matrix -- serial cold, serial warm, parallel, and (with
+``--cache-dir``) disk-populate and disk-warm -- prints a human-readable
+summary, and optionally writes the complete
+:class:`~repro.runtime.workload.WorkloadReport` as JSON.  The process
+exits non-zero when any phase disagrees with the others on the canonical
+answer checksum, so the CLI doubles as a deterministic end-to-end check.
+
+Subcommands::
+
+    python -m repro run spec.json --workers 4 --cache-dir .repro-cache
+    python -m repro spec-template          # print a starter spec
+
+See ``docs/runtime.md`` for the caching/parallelism guide.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.exceptions import ValidationError
+from repro.runtime.workload import WorkloadReport, WorkloadSpec, run_workload
+
+#: The starter spec printed by ``spec-template``: the 515-vertex
+#: (6,2)-chordal acceptance workload.
+TEMPLATE = {
+    "name": "chordal-515",
+    "schema": {"generator": "random_62_chordal_graph",
+               "params": {"blocks": 170, "rng": 1985}},
+    "queries": [{"count": 2000, "terminals": 3, "objective": "steiner", "seed": 7}],
+    "workers": 4,
+    "shard_size": None,
+    "batch_size": None,
+    "seed": 0,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    """Return the argument parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Run declarative minimal-connection workloads "
+            "(serial vs parallel, cold vs warm, optionally disk-cached)."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser(
+        "run", help="execute a workload spec and report phase timings"
+    )
+    run.add_argument("spec", help="path to a workload spec JSON file ('-' = stdin)")
+    run.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size (overrides the spec; 1 = serial only)",
+    )
+    run.add_argument(
+        "--shard-size", type=int, default=None,
+        help="requests per dispatched shard (default: two shards per worker)",
+    )
+    run.add_argument(
+        "--cache-dir", default=None,
+        help="enable the persistent result cache and run the disk phases",
+    )
+    run.add_argument(
+        "--no-cold", action="store_true",
+        help="skip the serial-cold phase (classification + first solves)",
+    )
+    run.add_argument(
+        "--json", dest="json_path", default=None,
+        help="write the full report as JSON to this path ('-' = stdout)",
+    )
+
+    commands.add_parser(
+        "spec-template", help="print a starter workload spec to stdout"
+    )
+    return parser
+
+
+def _load_spec(path: str) -> WorkloadSpec:
+    """Read and validate the spec file (``-`` reads stdin)."""
+    if path == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as error:
+            raise ValidationError(f"cannot read spec {path!r}: {error}") from error
+    return WorkloadSpec.from_json(text)
+
+
+def _print_summary(report: WorkloadReport) -> None:
+    """Print the human-readable phase table and headline ratios."""
+    print(f"workload  : {report.spec['name']}")
+    print(
+        f"schema    : {report.vertices} vertices / {report.edges} edges "
+        f"({report.spec['schema']['generator']})"
+    )
+    print(f"queries   : {report.queries}")
+    print()
+    print(f"{'phase':<14} {'workers':>7} {'seconds':>10} {'q/s':>10}")
+    for phase in report.phases:
+        rate = phase.queries / phase.seconds if phase.seconds > 0 else float("inf")
+        print(
+            f"{phase.name:<14} {phase.workers:>7} {phase.seconds:>10.3f} "
+            f"{rate:>10.1f}"
+        )
+    print()
+    if report.parallel_speedup is not None:
+        print(f"parallel speedup (serial-warm / parallel-warm): "
+              f"{report.parallel_speedup:.2f}x")
+    if report.disk_warm_ratio is not None:
+        print(f"disk-warm / serial-warm ratio                 : "
+              f"{report.disk_warm_ratio:.2f}")
+    solvers = ", ".join(f"{name}={count}" for name, count in report.solver_histogram)
+    guarantees = ", ".join(
+        f"{name}={count}" for name, count in report.guarantee_histogram
+    )
+    print(f"solvers   : {solvers}")
+    print(f"guarantees: {guarantees}")
+    status = "CONSISTENT" if report.checksums_consistent else "MISMATCH"
+    print(f"answers   : {status} (checksum {report.checksum[:16]}...)")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "spec-template":
+        try:
+            print(json.dumps(TEMPLATE, indent=2))
+        except BrokenPipeError:  # `python -m repro spec-template | head`
+            pass
+        return 0
+
+    try:
+        spec = _load_spec(args.spec)
+        report = run_workload(
+            spec,
+            workers=args.workers,
+            shard_size=args.shard_size,
+            cache_dir=args.cache_dir,
+            include_cold=not args.no_cold,
+        )
+    except ValidationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.json_path == "-":
+        print(report.to_json())
+    else:
+        _print_summary(report)
+        if args.json_path:
+            with open(args.json_path, "w", encoding="utf-8") as handle:
+                handle.write(report.to_json())
+                handle.write("\n")
+            print(f"report    : {args.json_path}")
+
+    return 0 if report.checksums_consistent else 1

@@ -1,0 +1,357 @@
+"""Sharded parallel execution of connection batches over a process pool.
+
+The engine (PR 1) amortises schema-level precomputation and the facade
+(PR 2) types the traffic, but every query still runs on one core.
+:class:`ParallelExecutor` removes that ceiling for batch traffic: it
+splits a batch into shards, ships each shard to a
+:class:`concurrent.futures.ProcessPoolExecutor` worker, and merges the
+answers back **in request order** with provenance identical to a serial
+:meth:`~repro.api.service.ConnectionService.batch` call (the differential
+suite pins byte-identity).
+
+How a shard travels
+-------------------
+* The parent resolves the schema once and transports the context's
+  *shard state* -- the compact-pickling
+  :class:`~repro.graphs.indexed.IndexedGraph` backend, the label index
+  and the classification report
+  (:meth:`~repro.engine.cache.SchemaContext.shard_state`).  Workers
+  rebuild an equivalent context in milliseconds instead of re-running
+  the Theorem 1 recognition (tens of seconds on large schemas).
+* Transport is memoised per schema and keyed on
+  :attr:`~repro.graphs.graph.Graph.mutation_version`: mutating the
+  schema between batches re-pickles and re-keys automatically, so a
+  worker can never answer from a stale structure.
+* Workers keep a tiny LRU of rebuilt services keyed by ``(schema digest,
+  config)``, so a long-lived pool answers alternating schemas without
+  rebuilding.
+* Results come back as schema-free payloads
+  (:func:`~repro.runtime.codec.encode_result`) and are re-materialised
+  against the parent's graph -- the schema is never pickled per answer.
+
+Error semantics match the serial batch: all-or-nothing, and the raised
+error is the one the *earliest* failing request produces (shards are
+joined in order, and within a shard the worker fails at its first
+failing request).
+
+Vertex labels must be picklable (true for every type the library's
+generators produce).  Use the executor as a context manager, or call
+:meth:`ParallelExecutor.close` to release the pool.
+
+Examples
+--------
+>>> from repro.datasets.generators import random_62_chordal_graph, random_terminals
+>>> graph = random_62_chordal_graph(6, rng=7)
+>>> queries = [random_terminals(graph, 3, rng=i) for i in range(8)]
+>>> with ParallelExecutor(workers=2) as executor:
+...     results = executor.batch(queries, schema=graph)
+>>> len(results)
+8
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from math import ceil
+from typing import Any, Iterable, List, Optional, Tuple
+
+from repro.api.config import ServiceConfig
+from repro.api.request import ConnectionRequest
+from repro.api.result import ConnectionResult
+from repro.api.service import ConnectionService
+from repro.engine.cache import SchemaContext, schema_digest
+from repro.exceptions import ValidationError
+from repro.runtime.codec import decode_result, encode_result
+from repro.steiner.problem import SteinerSolution
+
+
+class ParallelExecutor:
+    """Shard :meth:`ConnectionService.batch` traffic across a process pool.
+
+    Parameters
+    ----------
+    workers:
+        Number of pool processes.  ``None`` uses :func:`os.cpu_count`;
+        ``workers=1`` short-circuits to the serial in-process path (same
+        results, no pool).
+    shard_size:
+        Requests per dispatched shard.  ``None`` targets two shards per
+        worker, which balances straggler tolerance against dispatch
+        overhead for the library's millisecond-scale queries.
+    service:
+        An existing :class:`~repro.api.service.ConnectionService` to
+        shard for (its engine cache, config and persistent cache are
+        reused).  Built from ``config``/``schema`` when omitted.
+    config / schema:
+        Forwarded to the internally constructed service when ``service``
+        is not given.
+
+    Examples
+    --------
+    >>> from repro.graphs import BipartiteGraph
+    >>> g = BipartiteGraph(left=["A", "B"], right=[1], edges=[("A", 1), ("B", 1)])
+    >>> with ParallelExecutor(workers=2, schema=g) as executor:
+    ...     [r.cost for r in executor.batch([["A", "B"], ["A"]])]
+    [3, 1]
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        shard_size: Optional[int] = None,
+        service: Optional[ConnectionService] = None,
+        config: Optional[ServiceConfig] = None,
+        schema: Any = None,
+    ) -> None:
+        if service is not None and (config is not None or schema is not None):
+            raise ValidationError(
+                "pass either an existing service or config/schema to build "
+                "one, not both"
+            )
+        if service is None:
+            service = ConnectionService(schema=schema, config=config)
+        self._service = service
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValidationError("workers must be >= 1")
+        if shard_size is not None and shard_size < 1:
+            raise ValidationError("shard_size must be >= 1 (or None)")
+        self._workers = workers
+        self._shard_size = shard_size
+        self._pool: Optional[ProcessPoolExecutor] = None
+        # (schema handle, mutation_version, digest, pickled shard state)
+        self._transport: Optional[Tuple[Any, Optional[int], str, bytes]] = None
+
+    # ------------------------------------------------------------------
+    # introspection / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        """The configured pool size."""
+        return self._workers
+
+    @property
+    def service(self) -> ConnectionService:
+        """The parent-side service this executor shards for."""
+        return self._service
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; the executor stays usable)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        """Return ``self`` (the pool is created lazily on first use)."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Release the pool on scope exit."""
+        self.close()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def batch(
+        self,
+        requests: Iterable,
+        *,
+        schema: Any = None,
+        objective: str = "steiner",
+        side: Optional[int] = None,
+        policy: str = "auto",
+    ) -> List[ConnectionResult]:
+        """Answer a batch in parallel; mirror of :meth:`ConnectionService.batch`.
+
+        Results are returned in request order and are byte-identical (tree,
+        cost, guarantee, provenance minus wall time) to the serial batch.
+        When the service has a persistent cache, stored answers are
+        replayed in the parent and only the misses are dispatched.
+        """
+        materialised = self._service._materialise_batch(
+            requests, objective=objective, side=side, policy=policy
+        )
+        batch_schema = self._service._batch_schema(materialised, schema)
+        if self._workers == 1 or len(materialised) <= 1:
+            return self._service.batch(materialised, schema=batch_schema)
+        return self._parallel_batch(materialised, batch_schema)
+
+    def batch_interpret(
+        self,
+        schema: Any,
+        queries: Iterable[Iterable],
+        objective: str = "steiner",
+        side: int = 2,
+    ) -> List[SteinerSolution]:
+        """Parallel drop-in for :meth:`InterpretationEngine.batch_interpret`.
+
+        Returns bare :class:`~repro.steiner.problem.SteinerSolution`
+        objects in query order, with the same objective values as the
+        serial engine.
+        """
+        results = self.batch(
+            list(queries), schema=schema, objective=objective, side=side
+        )
+        return [result.solution for result in results]
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _parallel_batch(
+        self, materialised: List[ConnectionRequest], batch_schema: Any
+    ) -> List[ConnectionResult]:
+        service = self._service
+        resolved = service.engine.resolve_schema(batch_schema)
+
+        disk = service._disk_cache()
+        digest = service._digest_of(batch_schema) if disk is not None else None
+        replayed = (
+            service._disk_replay_scan(disk, materialised, digest)
+            if disk is not None
+            else {}
+        )
+
+        pending = [
+            (position, request)
+            for position, request in enumerate(materialised)
+            if position not in replayed
+        ]
+        payloads = {}
+        context = None
+        parent_hit = False
+        if pending:
+            # the context (and the pickled transport blob derived from it)
+            # is only needed when something actually dispatches -- a fully
+            # replayed batch never builds either
+            context, parent_hit = service._context(batch_schema, digest)
+            digest, state_blob = self._transport_for(
+                batch_schema, resolved, context, digest
+            )
+            shards = self._shard(pending)
+            worker_config = service.config.with_overrides(cache_dir=None)
+            pool = self._ensure_pool()
+            futures = [
+                pool.submit(
+                    _solve_shard,
+                    digest,
+                    state_blob,
+                    worker_config,
+                    [replace(request, schema=None) for _, request in shard],
+                )
+                for shard in shards
+            ]
+            # joining in shard order makes the propagated error the one the
+            # earliest failing request raises -- exactly the serial batch's
+            # all-or-nothing contract
+            for shard, future in zip(shards, futures):
+                shard_payloads = future.result()
+                for (position, _), payload in zip(shard, shard_payloads):
+                    payloads[position] = payload
+
+        results: List[ConnectionResult] = []
+        first_solved = True
+        for position, request in enumerate(materialised):
+            if position in replayed:
+                results.append(replayed[position])
+                continue
+            result = decode_result(
+                payloads[position],
+                graph=resolved,
+                request=request,
+                # stamp the parent's schema-cache status, matching what a
+                # serial batch on this service would have reported
+                cache_hit=parent_hit if first_solved else True,
+            )
+            first_solved = False
+            results.append(result)
+            if disk is not None:
+                service._disk_store(disk, request, digest, result)
+        if disk is not None and context is not None:
+            disk.store_report(digest, context.report)
+        return results
+
+    def _transport_for(
+        self,
+        schema: Any,
+        resolved,
+        context: SchemaContext,
+        digest: Optional[str] = None,
+    ) -> Tuple[str, bytes]:
+        """Return ``(digest, pickled shard state)``, memoised per schema.
+
+        The memo is keyed on the schema handle's identity plus its
+        ``mutation_version`` (``None`` for the immutable Relational/ER
+        handles): a structural mutation bumps the version, so the stale
+        transport -- and with it every worker-side context derived from it
+        -- is rebuilt before the next shard is dispatched.  A caller that
+        already computed the schema ``digest`` passes it in.
+        """
+        version = getattr(schema, "mutation_version", None)
+        memo = self._transport
+        if memo is not None and memo[0] is schema and memo[1] == version:
+            return memo[2], memo[3]
+        if digest is None:
+            digest = schema_digest(resolved)
+        state_blob = pickle.dumps(
+            context.shard_state(), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        self._transport = (schema, version, digest, state_blob)
+        return digest, state_blob
+
+    def _shard(self, pending: List) -> List[List]:
+        size = self._shard_size
+        if size is None:
+            size = max(1, ceil(len(pending) / (self._workers * 2)))
+        return [pending[start: start + size] for start in range(0, len(pending), size)]
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self._workers)
+        return self._pool
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+#: Per-process LRU of rebuilt services, keyed by (schema digest, config).
+_WORKER_SERVICES: "OrderedDict[Tuple[str, ServiceConfig], ConnectionService]" = (
+    OrderedDict()
+)
+_WORKER_SERVICE_LIMIT = 4
+
+
+def _worker_service(
+    digest: str, state_blob: bytes, config: ServiceConfig
+) -> ConnectionService:
+    """Return this worker's service for a schema, rebuilding it on first use."""
+    key = (digest, config)
+    service = _WORKER_SERVICES.get(key)
+    if service is None:
+        indexed, index, report = pickle.loads(state_blob)
+        context = SchemaContext.from_shard_state(indexed, index, report)
+        service = ConnectionService(schema=context.graph, config=config)
+        service.engine.adopt_context(context)
+        _WORKER_SERVICES[key] = service
+        while len(_WORKER_SERVICES) > _WORKER_SERVICE_LIMIT:
+            _WORKER_SERVICES.popitem(last=False)
+    else:
+        _WORKER_SERVICES.move_to_end(key)
+    return service
+
+
+def _solve_shard(
+    digest: str,
+    state_blob: bytes,
+    config: ServiceConfig,
+    requests: List[ConnectionRequest],
+) -> List[dict]:
+    """Answer one shard in a pool worker; returns encoded result payloads."""
+    service = _worker_service(digest, state_blob, config)
+    results = service.batch(requests)
+    return [encode_result(result) for result in results]

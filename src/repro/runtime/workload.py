@@ -1,0 +1,506 @@
+"""Declarative workloads: specs, the phase runner, and provenance-rich reports.
+
+A :class:`WorkloadSpec` is a JSON-friendly description of a complete
+experiment: which schema to generate (generator name + parameters), what
+query traffic to run against it (one or more :class:`QueryMix` entries:
+count, terminals per query, objective, seeds), and how to execute it
+(workers, shard size, batch size).  :func:`run_workload` executes a spec
+through every interesting configuration -- serial cold, serial warm,
+parallel, and (with a cache directory) disk-populate and disk-warm -- and
+returns a :class:`WorkloadReport` with per-phase wall times, speedups, a
+solver/guarantee histogram, and a determinism checksum asserting that
+every phase produced identical answers.
+
+This is the workload layer behind the ``python -m repro run`` CLI
+(:mod:`repro.runtime.cli`).
+
+Examples
+--------
+>>> spec = WorkloadSpec.from_dict({
+...     "name": "tiny",
+...     "schema": {"generator": "random_62_chordal_graph",
+...                "params": {"blocks": 4, "rng": 11}},
+...     "queries": {"count": 6, "terminals": 3},
+...     "workers": 2,
+... })
+>>> report = run_workload(spec)
+>>> report.queries, report.checksums_consistent
+(6, True)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import random
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.api.config import ServiceConfig
+from repro.api.request import ConnectionRequest
+from repro.api.result import ConnectionResult
+from repro.api.service import ConnectionService
+from repro.datasets.generators import (
+    random_62_chordal_graph,
+    random_alpha_schema_graph,
+    random_beta_schema_graph,
+    random_gamma_schema_graph,
+    random_terminals,
+)
+from repro.exceptions import ValidationError
+from repro.runtime.parallel import ParallelExecutor
+
+#: Schema generators a spec may name (an allowlist: specs are data, and
+#: data must not execute arbitrary callables).
+GENERATORS = {
+    "random_62_chordal_graph": random_62_chordal_graph,
+    "random_alpha_schema_graph": random_alpha_schema_graph,
+    "random_beta_schema_graph": random_beta_schema_graph,
+    "random_gamma_schema_graph": random_gamma_schema_graph,
+}
+
+
+@dataclass(frozen=True)
+class QueryMix:
+    """One homogeneous slice of a workload's query traffic.
+
+    Attributes
+    ----------
+    count:
+        Number of queries drawn for this mix.
+    terminals:
+        Terminal-set size per query (sampled from the schema's largest
+        connected component, so every query is feasible).
+    objective:
+        ``"steiner"`` or ``"side"`` (Definition 8 vs. Definition 9).
+    side:
+        The minimised side for ``"side"`` queries (``None`` defers to the
+        service's default).
+    seed:
+        Optional per-mix RNG seed; defaults to a value derived from the
+        spec-level seed and the mix position.
+    """
+
+    count: int
+    terminals: int = 3
+    objective: str = "steiner"
+    side: Optional[int] = None
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValidationError("query mix count must be >= 1")
+        if self.terminals < 1:
+            raise ValidationError("query mix terminals must be >= 1")
+        if self.objective not in ("steiner", "side"):
+            raise ValidationError(
+                f"query mix objective must be 'steiner' or 'side', got "
+                f"{self.objective!r}"
+            )
+        if self.side is not None and self.side not in (1, 2):
+            raise ValidationError("query mix side must be 1 or 2")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A complete, JSON-serialisable workload description.
+
+    Attributes
+    ----------
+    name:
+        Free-form label, echoed into the report.
+    generator:
+        Key into :data:`GENERATORS`.
+    params:
+        Keyword arguments for the generator (e.g. ``{"blocks": 170,
+        "rng": 1985}``); must be JSON-representable.
+    mixes:
+        The query traffic, as a tuple of :class:`QueryMix`.
+    workers / shard_size:
+        Parallel-execution defaults (overridable per run).
+    batch_size:
+        Split the traffic into batches of this size (``None`` = one
+        batch), modelling paged arrival of requests.
+    seed:
+        Base RNG seed for query sampling.
+    """
+
+    name: str
+    generator: str
+    params: Tuple[Tuple[str, Any], ...]
+    mixes: Tuple[QueryMix, ...]
+    workers: int = 1
+    shard_size: Optional[int] = None
+    batch_size: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.generator not in GENERATORS:
+            raise ValidationError(
+                f"unknown schema generator {self.generator!r}; known: "
+                f"{sorted(GENERATORS)}"
+            )
+        try:
+            # bind (without calling) so a typo'd or missing parameter is a
+            # spec validation error, not a TypeError mid-run
+            inspect.signature(GENERATORS[self.generator]).bind(**dict(self.params))
+        except TypeError as error:
+            raise ValidationError(
+                f"invalid params for generator {self.generator!r}: {error}"
+            ) from error
+        if not self.mixes:
+            raise ValidationError("a workload needs at least one query mix")
+        if self.workers < 1:
+            raise ValidationError("workers must be >= 1")
+        if self.shard_size is not None and self.shard_size < 1:
+            raise ValidationError("shard_size must be >= 1 (or None)")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValidationError("batch_size must be >= 1 (or None)")
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "WorkloadSpec":
+        """Build a spec from its dict/JSON form (validating everything).
+
+        Expected shape::
+
+            {"name": str,
+             "schema": {"generator": str, "params": {...}},
+             "queries": {...} | [{...}, ...],   # QueryMix fields
+             "workers": int, "shard_size": int|null,
+             "batch_size": int|null, "seed": int}
+        """
+        if not isinstance(data, dict):
+            raise ValidationError("a workload spec must be a JSON object")
+        unknown = set(data) - {
+            "name", "schema", "queries", "workers", "shard_size",
+            "batch_size", "seed",
+        }
+        if unknown:
+            raise ValidationError(f"unknown spec field(s): {sorted(unknown)}")
+        schema = data.get("schema")
+        if not isinstance(schema, dict) or "generator" not in schema:
+            raise ValidationError(
+                "spec needs a 'schema' object with a 'generator' name"
+            )
+        params = schema.get("params", {})
+        if not isinstance(params, dict):
+            raise ValidationError("'schema.params' must be an object")
+        queries = data.get("queries")
+        if isinstance(queries, dict):
+            queries = [queries]
+        if not isinstance(queries, list) or not queries:
+            raise ValidationError(
+                "spec needs 'queries': a query-mix object or non-empty list"
+            )
+        mixes = []
+        for entry in queries:
+            if not isinstance(entry, dict):
+                raise ValidationError("each query mix must be an object")
+            mix_unknown = set(entry) - {"count", "terminals", "objective", "side", "seed"}
+            if mix_unknown:
+                raise ValidationError(
+                    f"unknown query-mix field(s): {sorted(mix_unknown)}"
+                )
+            mixes.append(QueryMix(**entry))
+        return cls(
+            name=str(data.get("name", "workload")),
+            generator=schema["generator"],
+            params=tuple(sorted(params.items())),
+            mixes=tuple(mixes),
+            workers=int(data.get("workers", 1)),
+            shard_size=data.get("shard_size"),
+            batch_size=data.get("batch_size"),
+            seed=int(data.get("seed", 0)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "WorkloadSpec":
+        """Parse a spec from a JSON string."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ValidationError(f"spec is not valid JSON: {error}") from error
+        return cls.from_dict(data)
+
+    def to_dict(self) -> dict:
+        """Return the canonical dict form (round-trips through ``from_dict``)."""
+        return {
+            "name": self.name,
+            "schema": {"generator": self.generator, "params": dict(self.params)},
+            "queries": [
+                {
+                    "count": mix.count,
+                    "terminals": mix.terminals,
+                    "objective": mix.objective,
+                    "side": mix.side,
+                    "seed": mix.seed,
+                }
+                for mix in self.mixes
+            ],
+            "workers": self.workers,
+            "shard_size": self.shard_size,
+            "batch_size": self.batch_size,
+            "seed": self.seed,
+        }
+
+    # ------------------------------------------------------------------
+    # materialisation
+    # ------------------------------------------------------------------
+    def build_schema(self):
+        """Generate the schema graph this spec describes (deterministic)."""
+        return GENERATORS[self.generator](**dict(self.params))
+
+    def build_requests(self, graph) -> List[ConnectionRequest]:
+        """Sample the spec's query traffic against a generated schema."""
+        requests: List[ConnectionRequest] = []
+        for position, mix in enumerate(self.mixes):
+            seed = mix.seed if mix.seed is not None else self.seed * 1000003 + position
+            rng = random.Random(seed)
+            for _ in range(mix.count):
+                terminals = random_terminals(graph, mix.terminals, rng=rng)
+                requests.append(
+                    ConnectionRequest.of(
+                        terminals, objective=mix.objective, side=mix.side
+                    )
+                )
+        return requests
+
+
+# ----------------------------------------------------------------------
+# reports
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PhaseResult:
+    """Wall time and context for one executed phase of a workload run."""
+
+    name: str
+    seconds: float
+    queries: int
+    workers: int
+    checksum: str
+
+    def to_dict(self) -> dict:
+        """Return the JSON form of this phase."""
+        return {
+            "name": self.name,
+            "seconds": round(self.seconds, 6),
+            "queries": self.queries,
+            "workers": self.workers,
+            "checksum": self.checksum,
+        }
+
+
+@dataclass(frozen=True)
+class WorkloadReport:
+    """Everything one workload run produced, ready for JSON serialisation.
+
+    ``checksum`` is a digest over the canonical answers (trees, costs,
+    guarantees, solvers -- no timings, no cache flags); every phase must
+    reproduce it, and ``checksums_consistent`` says whether they did.
+    The speedup fields compare warm phases only, so they measure the
+    steady-state effect of parallelism / persistence rather than the
+    one-off classification cost (which ``cold_seconds`` reports).
+    """
+
+    spec: dict
+    vertices: int
+    edges: int
+    queries: int
+    phases: Tuple[PhaseResult, ...]
+    checksum: str
+    checksums_consistent: bool
+    solver_histogram: Tuple[Tuple[str, int], ...]
+    guarantee_histogram: Tuple[Tuple[str, int], ...]
+    parallel_speedup: Optional[float] = None
+    disk_warm_ratio: Optional[float] = None
+    cache_stats: dict = field(default_factory=dict)
+
+    def phase(self, name: str) -> Optional[PhaseResult]:
+        """Return the named phase (``None`` when it was not run)."""
+        for phase in self.phases:
+            if phase.name == name:
+                return phase
+        return None
+
+    def to_dict(self) -> dict:
+        """Return the JSON form of the full report."""
+        return {
+            "spec": self.spec,
+            "schema": {"vertices": self.vertices, "edges": self.edges},
+            "queries": self.queries,
+            "phases": [phase.to_dict() for phase in self.phases],
+            "checksum": self.checksum,
+            "checksums_consistent": self.checksums_consistent,
+            "solver_histogram": dict(self.solver_histogram),
+            "guarantee_histogram": dict(self.guarantee_histogram),
+            "parallel_speedup": self.parallel_speedup,
+            "disk_warm_ratio": self.disk_warm_ratio,
+            "cache_stats": self.cache_stats,
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Return the report as a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+
+def canonical_checksum(results: Sequence[ConnectionResult]) -> str:
+    """Digest the *answers* of a result sequence, ignoring run conditions.
+
+    Covers terminals, objective, tree vertices and edges, cost, guarantee,
+    rank, solver, instance class and plan reason; excludes wall times and
+    cache flags, which legitimately differ between cold/warm/parallel/disk
+    phases.  Two runs of the same workload must agree on this digest --
+    :func:`run_workload` asserts it across every phase.
+    """
+    hasher = hashlib.sha256()
+    for result in results:
+        record = result.to_dict(include_timing=False)
+        provenance = record.get("provenance", {})
+        provenance.pop("cache_hit", None)
+        provenance.pop("result_cache", None)
+        record["tree_vertices"] = sorted(repr(v) for v in result.tree.vertices())
+        record["tree_edges"] = sorted(
+            "|".join(sorted((repr(u), repr(v)))) for u, v in result.tree.edges()
+        )
+        hasher.update(
+            json.dumps(record, sort_keys=True, default=repr).encode("utf-8")
+        )
+    return hasher.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# the phase runner
+# ----------------------------------------------------------------------
+def _run_batches(execute, requests: List[ConnectionRequest], batch_size: Optional[int]):
+    """Run ``execute`` over the request list in ``batch_size`` chunks."""
+    if batch_size is None:
+        return list(execute(requests))
+    results: List[ConnectionResult] = []
+    for start in range(0, len(requests), batch_size):
+        results.extend(execute(requests[start: start + batch_size]))
+    return results
+
+
+def run_workload(
+    spec: WorkloadSpec,
+    *,
+    workers: Optional[int] = None,
+    shard_size: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    include_cold: bool = True,
+    base_config: Optional[ServiceConfig] = None,
+) -> WorkloadReport:
+    """Execute a workload spec through every configuration and report.
+
+    Phases (each over the full request list, in ``batch_size`` chunks):
+
+    1. ``serial-cold`` -- fresh service, empty caches: pays classification
+       plus every solve (skipped with ``include_cold=False``).
+    2. ``serial-warm`` -- same service again: the in-memory steady state.
+    3. ``parallel-warm`` -- a :class:`~repro.runtime.parallel.ParallelExecutor`
+       sharing the warm service, with the requested worker count.
+    4. ``disk-populate`` / ``disk-warm`` -- only with ``cache_dir``: a
+       caching service computes-and-stores, then a *fresh* service replays
+       everything from disk (no classification, no solving).
+
+    Every phase's answers are digested with :func:`canonical_checksum`;
+    the report flags any disagreement.  ``parallel_speedup`` is
+    serial-warm over parallel-warm; ``disk_warm_ratio`` is disk-warm over
+    serial-warm (< 1 means the disk replay beats in-memory solving).
+    """
+    overridden_workers = workers if workers is not None else spec.workers
+    overridden_shard = shard_size if shard_size is not None else spec.shard_size
+    config = base_config if base_config is not None else ServiceConfig()
+
+    graph = spec.build_schema()
+    requests = spec.build_requests(graph)
+    phases: List[PhaseResult] = []
+    checksums: List[str] = []
+    by_solver: Dict[str, int] = {}
+    by_guarantee: Dict[str, int] = {}
+    cache_stats: dict = {}
+
+    def record_phase(name, seconds, results, phase_workers=1):
+        checksum = canonical_checksum(results)
+        checksums.append(checksum)
+        phases.append(
+            PhaseResult(
+                name=name,
+                seconds=seconds,
+                queries=len(results),
+                workers=phase_workers,
+                checksum=checksum,
+            )
+        )
+        return results
+
+    service = ConnectionService(schema=graph, config=config)
+
+    if include_cold:
+        started = perf_counter()
+        cold = _run_batches(service.batch, requests, spec.batch_size)
+        record_phase("serial-cold", perf_counter() - started, cold)
+
+    started = perf_counter()
+    warm = _run_batches(service.batch, requests, spec.batch_size)
+    record_phase("serial-warm", perf_counter() - started, warm)
+    for result in warm:
+        by_solver[result.provenance.solver] = (
+            by_solver.get(result.provenance.solver, 0) + 1
+        )
+        by_guarantee[result.guarantee.value] = (
+            by_guarantee.get(result.guarantee.value, 0) + 1
+        )
+
+    parallel_speedup = None
+    if overridden_workers > 1:
+        with ParallelExecutor(
+            overridden_workers, shard_size=overridden_shard, service=service
+        ) as executor:
+            started = perf_counter()
+            parallel = _run_batches(executor.batch, requests, spec.batch_size)
+            parallel_seconds = perf_counter() - started
+        record_phase(
+            "parallel-warm", parallel_seconds, parallel, overridden_workers
+        )
+        warm_phase = next(p for p in phases if p.name == "serial-warm")
+        if parallel_seconds > 0:
+            parallel_speedup = warm_phase.seconds / parallel_seconds
+
+    disk_warm_ratio = None
+    if cache_dir is not None:
+        caching_config = config.with_overrides(cache_dir=cache_dir)
+        populate_service = ConnectionService(schema=graph, config=caching_config)
+        started = perf_counter()
+        populated = _run_batches(populate_service.batch, requests, spec.batch_size)
+        record_phase("disk-populate", perf_counter() - started, populated)
+
+        replay_service = ConnectionService(schema=graph, config=caching_config)
+        started = perf_counter()
+        replayed = _run_batches(replay_service.batch, requests, spec.batch_size)
+        disk_seconds = perf_counter() - started
+        record_phase("disk-warm", disk_seconds, replayed)
+        cache_stats = replay_service.cache_stats()
+        warm_phase = next(p for p in phases if p.name == "serial-warm")
+        if warm_phase.seconds > 0:
+            disk_warm_ratio = disk_seconds / warm_phase.seconds
+
+    return WorkloadReport(
+        spec=spec.to_dict(),
+        vertices=graph.number_of_vertices(),
+        edges=graph.number_of_edges(),
+        queries=len(requests),
+        phases=tuple(phases),
+        checksum=checksums[0] if checksums else "",
+        checksums_consistent=len(set(checksums)) <= 1,
+        solver_histogram=tuple(sorted(by_solver.items())),
+        guarantee_histogram=tuple(sorted(by_guarantee.items())),
+        parallel_speedup=parallel_speedup,
+        disk_warm_ratio=disk_warm_ratio,
+        cache_stats=cache_stats,
+    )

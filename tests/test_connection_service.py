@@ -550,15 +550,19 @@ class TestPackaging:
     def test_version_and_exports(self):
         import repro
 
-        assert repro.__version__ == "1.2.0"
+        assert repro.__version__ == "1.3.0"
         for name in (
             "ConnectionRequest",
             "ConnectionResult",
             "ConnectionService",
+            "DiskCache",
             "EnumerationStream",
             "Guarantee",
+            "ParallelExecutor",
             "Provenance",
             "ServiceConfig",
+            "WorkloadSpec",
+            "run_workload",
         ):
             assert name in repro.__all__
             assert getattr(repro, name) is not None

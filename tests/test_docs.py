@@ -1,0 +1,104 @@
+"""Consistency of the documentation site (docs/ + mkdocs.yml + README).
+
+CI builds the site with ``mkdocs build --strict``; this test catches the
+same breakage classes locally without mkdocs installed: the nav must
+reference existing pages, every page in docs/ must be reachable from the
+nav, internal markdown links must resolve, and the required coverage
+(architecture, all six example scenarios, the runtime guide, the
+migration note) must actually be present.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+import yaml
+
+ROOT = Path(__file__).resolve().parents[1]
+DOCS = ROOT / "docs"
+MKDOCS = ROOT / "mkdocs.yml"
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(?:#[^)\s]*)?\)")
+
+
+def nav_pages(nav):
+    """Flatten an mkdocs nav structure into page paths."""
+    pages = []
+    for entry in nav:
+        if isinstance(entry, str):
+            pages.append(entry)
+        elif isinstance(entry, dict):
+            for value in entry.values():
+                if isinstance(value, str):
+                    pages.append(value)
+                else:
+                    pages.extend(nav_pages(value))
+    return pages
+
+
+def load_config():
+    # mkdocs.yml may use python-specific tags in general; ours must stay
+    # safe_load-able so tooling (and this test) can parse it
+    return yaml.safe_load(MKDOCS.read_text(encoding="utf-8"))
+
+
+def test_mkdocs_config_is_valid_and_strict():
+    config = load_config()
+    assert config["strict"] is True
+    assert config["docs_dir"] == "docs"
+    assert config["theme"]["name"] == "readthedocs"  # bundled with mkdocs
+    assert config["nav"], "the site needs an explicit nav"
+
+
+def test_nav_references_existing_pages_and_covers_docs_dir():
+    config = load_config()
+    pages = nav_pages(config["nav"])
+    for page in pages:
+        assert (DOCS / page).is_file(), f"nav references missing page {page}"
+    on_disk = {p.relative_to(DOCS).as_posix() for p in DOCS.rglob("*.md")}
+    assert on_disk == set(pages), "every docs page must be in the nav (strict mode)"
+
+
+@pytest.mark.parametrize(
+    "page", sorted(p.relative_to(DOCS).as_posix() for p in DOCS.rglob("*.md"))
+)
+def test_internal_links_resolve(page):
+    text = (DOCS / page).read_text(encoding="utf-8")
+    for target in LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        resolved = ((DOCS / page).parent / target).resolve()
+        assert resolved.exists(), f"{page}: broken link -> {target}"
+
+
+def test_required_coverage_is_present():
+    corpus = {
+        page.name: page.read_text(encoding="utf-8") for page in DOCS.glob("*.md")
+    }
+    # architecture: the module map and the layering
+    assert "repro.runtime" in corpus["architecture.md"]
+    assert "repro.engine" in corpus["architecture.md"]
+    # scenarios: all six examples, by file name
+    examples = {p.stem for p in (ROOT / "examples").glob("*.py")}
+    assert len(examples) == 6
+    for name in examples:
+        assert name in corpus["scenarios.md"], f"scenarios.md misses {name}"
+    # runtime guide: both halves of the tentpole plus the CLI
+    for needle in ("ParallelExecutor", "DiskCache", "python -m repro", "cache_dir"):
+        assert needle in corpus["runtime.md"]
+    # migration note and enumeration contract
+    assert "MinimalConnectionFinder" in corpus["migration.md"]
+    assert "extend_budget" in corpus["enumeration.md"]
+
+
+def test_readme_is_a_landing_page_linking_into_docs():
+    readme = (ROOT / "README.md").read_text(encoding="utf-8")
+    assert "docs/" in readme
+    for target in LINK.findall(readme):
+        if target.startswith(("http://", "https://", "mailto:", "../")):
+            # ../ links (the workflow badges) resolve on the forge, not here
+            continue
+        assert (ROOT / target).exists(), f"README: broken link -> {target}"
+    # the landing page stays a landing page
+    assert len(readme.splitlines()) < 120, "README grew back into a manual"
+    assert "badge" in readme or "workflows" in readme  # CI + docs badges

@@ -1,0 +1,169 @@
+"""Workload specs, the phase runner, and the ``python -m repro`` CLI."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.runtime.workload import QueryMix, WorkloadSpec, run_workload
+
+TINY_SPEC = {
+    "name": "tiny",
+    "schema": {"generator": "random_62_chordal_graph",
+               "params": {"blocks": 4, "rng": 11}},
+    "queries": [{"count": 5, "terminals": 3, "seed": 1},
+                {"count": 3, "terminals": 2, "objective": "side", "side": 2}],
+    "workers": 2,
+    "batch_size": 4,
+}
+
+
+# ----------------------------------------------------------------------
+# spec parsing and validation
+# ----------------------------------------------------------------------
+def test_spec_round_trips_through_dict_and_json():
+    spec = WorkloadSpec.from_dict(TINY_SPEC)
+    again = WorkloadSpec.from_dict(spec.to_dict())
+    assert again == spec
+    assert WorkloadSpec.from_json(json.dumps(spec.to_dict())) == spec
+
+
+def test_spec_builds_deterministic_schema_and_queries():
+    spec = WorkloadSpec.from_dict(TINY_SPEC)
+    g1, g2 = spec.build_schema(), spec.build_schema()
+    assert g1 == g2
+    r1 = spec.build_requests(g1)
+    r2 = spec.build_requests(g2)
+    assert [r.terminals for r in r1] == [r.terminals for r in r2]
+    assert len(r1) == 8
+    assert sum(1 for r in r1 if r.objective == "side") == 3
+
+
+@pytest.mark.parametrize(
+    "broken",
+    [
+        {"schema": {"generator": "nope"}, "queries": {"count": 1}},
+        {"schema": {"generator": "random_62_chordal_graph"}, "queries": []},
+        {"schema": {"generator": "random_62_chordal_graph"},
+         "queries": {"count": 0}},
+        {"schema": {"generator": "random_62_chordal_graph"},
+         "queries": {"count": 1, "objective": "maximise"}},
+        {"schema": {"generator": "random_62_chordal_graph"},
+         "queries": {"count": 1}, "surprise": True},
+        {"schema": {"generator": "random_62_chordal_graph"},
+         "queries": {"count": 1, "terminals": 2, "mystery": 1}},
+        # typo'd generator kwarg: caught at spec validation, not mid-run
+        {"schema": {"generator": "random_62_chordal_graph",
+                    "params": {"block": 8}},
+         "queries": {"count": 1}},
+        "not an object",
+    ],
+)
+def test_spec_validation_rejects_broken_input(broken):
+    with pytest.raises(ValidationError):
+        if isinstance(broken, str):
+            WorkloadSpec.from_json(json.dumps(broken))
+        else:
+            WorkloadSpec.from_dict(broken)
+
+
+def test_query_mix_validation():
+    with pytest.raises(ValidationError):
+        QueryMix(count=1, side=3)
+    with pytest.raises(ValidationError):
+        QueryMix(count=1, terminals=0)
+
+
+# ----------------------------------------------------------------------
+# the phase runner
+# ----------------------------------------------------------------------
+def test_run_workload_phases_and_consistency(tmp_path):
+    spec = WorkloadSpec.from_dict(TINY_SPEC)
+    report = run_workload(spec, cache_dir=str(tmp_path / "cache"))
+    names = [phase.name for phase in report.phases]
+    assert names == [
+        "serial-cold", "serial-warm", "parallel-warm", "disk-populate", "disk-warm",
+    ]
+    assert report.checksums_consistent
+    assert report.queries == 8
+    assert report.parallel_speedup is not None
+    assert report.disk_warm_ratio is not None
+    assert dict(report.solver_histogram)  # at least one solver recorded
+    assert report.phase("disk-warm").checksum == report.checksum
+    assert report.phase("missing") is None
+    # the report serialises cleanly
+    parsed = json.loads(report.to_json())
+    assert parsed["checksums_consistent"] is True
+
+
+def test_run_workload_serial_only_and_no_cold():
+    spec = WorkloadSpec.from_dict({**TINY_SPEC, "workers": 1})
+    report = run_workload(spec, include_cold=False)
+    assert [phase.name for phase in report.phases] == ["serial-warm"]
+    assert report.parallel_speedup is None and report.disk_warm_ratio is None
+
+
+# ----------------------------------------------------------------------
+# the CLI
+# ----------------------------------------------------------------------
+def run_cli(*args, cwd=None):
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, timeout=300, env=env, cwd=cwd,
+    )
+
+
+def test_cli_run_executes_spec_and_writes_report(tmp_path):
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(TINY_SPEC))
+    report_path = tmp_path / "report.json"
+
+    proc = run_cli(
+        "run", str(spec_path),
+        "--workers", "2",
+        "--cache-dir", str(tmp_path / "cache"),
+        "--json", str(report_path),
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "CONSISTENT" in proc.stdout
+    assert "parallel speedup" in proc.stdout
+    report = json.loads(report_path.read_text())
+    assert report["checksums_consistent"] is True
+    assert {p["name"] for p in report["phases"]} >= {
+        "serial-cold", "serial-warm", "parallel-warm", "disk-warm",
+    }
+
+
+def test_cli_json_to_stdout_and_no_cold(tmp_path):
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps({**TINY_SPEC, "workers": 1}))
+    proc = run_cli("run", str(spec_path), "--no-cold", "--json", "-")
+    assert proc.returncode == 0, proc.stderr
+    report = json.loads(proc.stdout)
+    assert [p["name"] for p in report["phases"]] == ["serial-warm"]
+
+
+def test_cli_spec_template_round_trips():
+    proc = run_cli("spec-template")
+    assert proc.returncode == 0
+    spec = WorkloadSpec.from_json(proc.stdout)
+    assert spec.generator == "random_62_chordal_graph"
+    assert dict(spec.params)["blocks"] == 170  # the 515-vertex acceptance workload
+
+
+def test_cli_rejects_broken_spec(tmp_path):
+    spec_path = tmp_path / "broken.json"
+    spec_path.write_text("{not json")
+    proc = run_cli("run", str(spec_path))
+    assert proc.returncode == 2
+    assert "error:" in proc.stderr
+
+    proc = run_cli("run", str(tmp_path / "missing.json"))
+    assert proc.returncode == 2
