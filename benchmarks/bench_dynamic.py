@@ -1,0 +1,215 @@
+"""Dynamic-schema benchmarks: incremental context updates vs full rebuilds.
+
+Acceptance numbers for the `repro.dynamic` subsystem on the 515-vertex
+(6,2)-chordal acceptance schema:
+
+* `SchemaContext.apply_delta` answers a single-edge edit >= 5x faster
+  than rebuilding the context from scratch (full Theorem 1 recognition);
+  in practice the gap is 3-4 orders of magnitude once the block memo is
+  warm, because only the touched biconnected block is reclassified;
+* the patched context is *observably equal* to the rebuilt one: same
+  graph, same CSR backend, same classification (asserted in every mode);
+* at the service level, a churn loop (edit, then answer queries) on an
+  incremental service produces answers checksum-identical to a
+  fresh-context oracle while keeping up with mutations instead of
+  re-classifying per edit.
+
+Set ``REPRO_BENCH_SMOKE=1`` for the scaled-down CI variant: same code
+paths, tiny schema, correctness assertions only.
+"""
+
+import itertools
+import os
+import random
+from time import perf_counter
+
+from conftest import record
+
+from repro.api import ConnectionService, ServiceConfig
+from repro.datasets.generators import random_62_chordal_graph, random_terminals
+from repro.dynamic import SchemaDelta, SchemaEditor
+from repro.engine.cache import SchemaContext
+from repro.runtime.workload import canonical_checksum
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+
+def _schema():
+    """The dynamic workload schema: smoke = tiny CI variant, full = acceptance."""
+    blocks = 12 if SMOKE else 170
+    return random_62_chordal_graph(blocks, rng=1985)
+
+
+def _single_edge_edits(graph, count, rng, fresh):
+    """Yield ``count`` single-edge editor transactions applied to ``graph``.
+
+    Alternates pendant insertions, edge deletions and pendant deletions --
+    the single edge/vertex edit mix the incremental engine's local
+    separator checks target.  ``fresh`` is the shared vertex-name counter
+    (one per graph lineage, so repeated calls never recreate a name).
+    """
+    for step in range(count):
+        mode = step % 3
+        if mode == 0:
+            anchor = rng.choice(graph.sorted_vertices())
+            side = 3 - graph.side_of(anchor)
+            vertex = ("bench", next(fresh))
+            with SchemaEditor(graph) as tx:
+                tx.add_vertex(vertex, side=side)
+                tx.add_edge(vertex, anchor)
+        elif mode == 1:
+            edges = sorted(
+                (tuple(sorted(edge, key=repr)) for edge in graph.edges()), key=repr
+            )
+            u, v = rng.choice(edges)
+            with SchemaEditor(graph) as tx:
+                tx.remove_edge(u, v)
+        else:
+            leaves = [v for v in graph.sorted_vertices() if graph.degree(v) == 1]
+            with SchemaEditor(graph) as tx:
+                if leaves:
+                    tx.remove_vertex(rng.choice(leaves))
+                else:  # pragma: no cover - the edit mix always leaves leaves
+                    anchor = rng.choice(graph.sorted_vertices())
+                    vertex = ("bench", next(fresh))
+                    tx.add_vertex(vertex, side=3 - graph.side_of(anchor))
+                    tx.add_edge(vertex, anchor)
+        yield
+
+
+def test_apply_delta_beats_full_rebuild(benchmark):
+    """DY1: incremental context update vs full rebuild on single-edge edits.
+
+    The rebuild side is what every mutation cost before `repro.dynamic`:
+    a fresh ``SchemaContext`` plus the full Theorem 1 recognition.  The
+    incremental side applies the structural delta to the cached context.
+    Equality of the resulting contexts is asserted edit by edit; the
+    >= 5x bar is asserted in full mode (and recorded in smoke mode).
+    """
+    graph = _schema()
+    rng = random.Random(7)
+    fresh = itertools.count(1)
+    context = SchemaContext(graph)
+    context.report  # cold classification, outside every clock
+
+    # one throwaway edit warms the block memo (its cold pass classifies
+    # every block once; afterwards each edit only pays its own blocks)
+    snapshot = context.graph.copy()
+    next(iter(_single_edge_edits(graph, 1, rng, fresh)))
+    context = context.apply_delta(SchemaDelta.between(snapshot, graph))
+
+    edits = 3 if SMOKE else 5
+    incremental_seconds = 0.0
+    rebuild_seconds = 0.0
+    deltas = 0
+    for _ in _single_edge_edits(graph, edits, rng, fresh):
+        snapshot = context.graph
+        start = perf_counter()
+        delta = SchemaDelta.between(snapshot, graph)
+        patched = context.apply_delta(delta)
+        incremental_seconds += perf_counter() - start
+
+        start = perf_counter()
+        rebuilt = SchemaContext(graph)
+        rebuilt.report
+        rebuild_seconds += perf_counter() - start
+
+        assert patched.graph == rebuilt.graph
+        assert patched.indexed == rebuilt.indexed
+        assert patched.report == rebuilt.report
+        context = patched
+        deltas += 1
+
+    def one_edit():
+        for _ in _single_edge_edits(graph, 1, rng, fresh):
+            pass
+        return SchemaDelta.between(context.graph, graph)
+
+    delta = one_edit()
+    benchmark(context.apply_delta, delta)
+
+    speedup = (
+        rebuild_seconds / incremental_seconds if incremental_seconds > 0 else 0.0
+    )
+    record(
+        benchmark,
+        experiment="DY1",
+        vertices=graph.number_of_vertices(),
+        edits=deltas,
+        incremental_seconds=round(incremental_seconds, 4),
+        rebuild_seconds=round(rebuild_seconds, 4),
+        speedup=round(speedup, 1),
+        block_stats=context._blocks.stats(),
+        smoke=SMOKE,
+    )
+    if not SMOKE:
+        assert speedup >= 5.0, (
+            f"incremental apply_delta must beat the full rebuild >= 5x on "
+            f"single-edge edits, got {speedup:.2f}x"
+        )
+
+
+def test_incremental_service_churn_matches_oracle(benchmark):
+    """DY2: service-level churn -- incremental vs fresh-context oracle.
+
+    An incremental ``ConnectionService`` absorbs an edit-then-query loop;
+    the oracle answers the identical traffic with ``incremental=False``
+    (full rebuild per mutation).  Answers must be checksum-identical in
+    every mode; the >= 5x wall-clock bar is asserted in full mode.
+    """
+    base = _schema()
+    edits = 4 if SMOKE else 8
+    queries_per_edit = 3
+
+    def run(incremental: bool):
+        graph = base.copy()
+        service = ConnectionService(
+            schema=graph, config=ServiceConfig(incremental=incremental)
+        )
+        rng = random.Random(11)
+        fresh = itertools.count(1)
+        service.connect(random_terminals(graph, 3, rng=rng))  # warm, off-clock
+        results = []
+        start = perf_counter()
+        for _ in _single_edge_edits(graph, edits, rng, fresh):
+            for _ in range(queries_per_edit):
+                results.append(
+                    service.connect(random_terminals(graph, 3, rng=rng))
+                )
+        return results, perf_counter() - start
+
+    incremental_results, incremental_seconds = run(True)
+    oracle_results, oracle_seconds = run(False)
+    assert canonical_checksum(incremental_results) == canonical_checksum(
+        oracle_results
+    )
+
+    def churn_once():
+        graph = base.copy()
+        service = ConnectionService(schema=graph)
+        rng = random.Random(13)
+        fresh = itertools.count(1)
+        for _ in _single_edge_edits(graph, 2, rng, fresh):
+            service.connect(random_terminals(graph, 3, rng=rng))
+
+    benchmark(churn_once)
+
+    speedup = (
+        oracle_seconds / incremental_seconds if incremental_seconds > 0 else 0.0
+    )
+    record(
+        benchmark,
+        experiment="DY2",
+        vertices=base.number_of_vertices(),
+        edits=edits,
+        queries=edits * queries_per_edit,
+        incremental_seconds=round(incremental_seconds, 4),
+        oracle_seconds=round(oracle_seconds, 4),
+        speedup=round(speedup, 1),
+        smoke=SMOKE,
+    )
+    if not SMOKE:
+        assert speedup >= 5.0, (
+            f"the incremental service must keep up with churn >= 5x faster "
+            f"than full rebuilds, got {speedup:.2f}x"
+        )

@@ -29,7 +29,14 @@ The package provides:
   ``ParallelExecutor`` shards batches across a process pool,
   ``DiskCache`` persists classifications and results across processes
   (``ServiceConfig(cache_dir=...)``), and ``WorkloadSpec`` +
-  ``python -m repro run`` execute declarative workloads end to end.
+  ``python -m repro run`` execute declarative workloads end to end,
+* the incremental dynamic-schema subsystem (``repro.dynamic``):
+  ``SchemaEditor`` batches schema edits into atomic transactions (one
+  version bump, rollback on error, structured ``SchemaDelta``
+  journals), and ``SchemaContext.apply_delta`` patches cached schema
+  contexts blockwise instead of re-running the Theorem 1 recognition --
+  schema churn as a first-class workload (the ``churn`` phase of
+  ``python -m repro run``).
 
 The most common entry points are re-exported here; see ``README.md`` for a
 guided tour and the ``docs/`` site for the architecture, scenario and
@@ -76,6 +83,7 @@ from repro.exceptions import (
     ReproError,
     ValidationError,
 )
+from repro.dynamic import BlockClassifier, EditOp, SchemaDelta, SchemaEditor
 from repro.engine import InterpretationEngine, batch_interpret, schema_digest
 from repro.graphs import (
     BipartiteGraph,
@@ -117,11 +125,12 @@ from repro.steiner import (
     steiner_tree_dreyfus_wagner,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "BipartiteGraph",
     "BipartitenessError",
+    "BlockClassifier",
     "ChordalityReport",
     "ConnectionRequest",
     "ConnectionResult",
@@ -130,6 +139,7 @@ __all__ = [
     "DisconnectedTerminalsError",
     "DiskCache",
     "ERSchema",
+    "EditOp",
     "EnumerationStream",
     "Graph",
     "GraphError",
@@ -147,6 +157,8 @@ __all__ = [
     "Relation",
     "RelationalSchema",
     "ReproError",
+    "SchemaDelta",
+    "SchemaEditor",
     "ServiceConfig",
     "SteinerInstance",
     "SteinerSolution",

@@ -49,6 +49,14 @@ class ServiceConfig:
         schema's structural digest and the request, and serves repeat
         requests from disk across processes and interpreter restarts.
         ``None`` (the default) keeps the service purely in-memory.
+    incremental:
+        When ``True`` (the default) a mutation of the service's *bound*
+        schema patches the cached schema context through
+        :meth:`~repro.engine.cache.SchemaContext.apply_delta` -- only the
+        biconnected blocks the edit touched are reclassified -- instead
+        of rebuilding it with a full Theorem 1 recognition.  Set to
+        ``False`` to force full rebuilds (the churn oracle and the
+        dynamic benchmarks do, to have a baseline to compare against).
     """
 
     exact_terminal_limit: int = 8
@@ -58,6 +66,7 @@ class ServiceConfig:
     enumeration_budget: Optional[int] = None
     enumeration_max_extra: Optional[int] = None
     cache_dir: Optional[Union[str, os.PathLike]] = None
+    incremental: bool = True
 
     def __post_init__(self) -> None:
         if self.exact_terminal_limit < 0 or self.exact_vertex_limit < 0:
@@ -74,6 +83,8 @@ class ServiceConfig:
             raise ValidationError("enumeration_budget must be non-negative")
         if self.enumeration_max_extra is not None and self.enumeration_max_extra < 0:
             raise ValidationError("enumeration_max_extra must be non-negative")
+        if not isinstance(self.incremental, bool):
+            raise ValidationError("incremental must be a bool")
 
     def with_overrides(self, **overrides) -> "ServiceConfig":
         """Return a copy with the given fields replaced (validation re-runs)."""

@@ -27,6 +27,29 @@ OBJECTIVES = ("steiner", "side")
 POLICIES = ("auto", "require-optimal")
 
 
+def validate_terminals(graph, terminals) -> None:
+    """Raise :class:`ValidationError` for degenerate terminal sets.
+
+    The one definition of "degenerate" every entry point shares --
+    :meth:`ConnectionService.connect`, batches (serial and parallel
+    worker-side) and :class:`~repro.api.stream.EnumerationStream` alike:
+    an *empty* set and *unknown vertices* are caller errors surfaced
+    eagerly in the library's taxonomy (without this, an empty set would
+    fail deep inside a solver and an unknown vertex would surface as a
+    ``GraphError`` from the index encode).  A single terminal is valid
+    everywhere: the answer is the trivial one-vertex connection.
+    """
+    terminals = tuple(terminals)
+    if not terminals:
+        raise ValidationError("the terminal set must be non-empty")
+    unknown = [t for t in terminals if not graph.has_vertex(t)]
+    if unknown:
+        raise ValidationError(
+            f"terminals {sorted(unknown, key=repr)!r} are not vertices "
+            "of the schema"
+        )
+
+
 @dataclass(frozen=True, eq=False)
 class ConnectionRequest:
     """One minimal-connection query, fully specified.

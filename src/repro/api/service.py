@@ -30,7 +30,7 @@ from time import perf_counter
 from typing import Any, Iterable, List, Optional, Union
 
 from repro.api.config import ServiceConfig
-from repro.api.request import ConnectionRequest
+from repro.api.request import ConnectionRequest, validate_terminals
 from repro.api.result import ConnectionResult, Guarantee, Provenance
 from repro.api.stream import EnumerationStream
 from repro.core.classification import ChordalityReport
@@ -171,18 +171,48 @@ class ConnectionService:
             self._disk = DiskCache(self._config.cache_dir)
         return self._disk
 
+    def _persistent_layer(self, schema: Any):
+        """Return ``(disk, digest)`` for a request, or ``(None, None)``.
+
+        The single gate every disk-touching path goes through: ``None``
+        when no cache directory is configured, and also when the schema's
+        digest is *ambiguous* (repr-colliding vertices, see
+        :func:`~repro.engine.cache.schema_digest`) -- such digests are
+        unique per call, so nothing stored under one could ever be
+        replayed, and the append-only store must not fill with
+        write-only entries.
+        """
+        from repro.engine.cache import digest_is_ambiguous
+
+        disk = self._disk_cache()
+        if disk is None:
+            return None, None
+        digest = self._digest_of(schema)
+        if digest_is_ambiguous(digest):
+            return None, None
+        return disk, digest
+
     def _digest_of(self, schema: Any) -> str:
         """Return the structural digest of a schema handle (memoised when bound)."""
         from repro.engine.cache import schema_digest
 
         chosen = schema if schema is not None else self._schema
         if chosen is self._schema and chosen is not None:
+            # same held-version rule as _context: an open editor
+            # transaction freezes the version, so the memo is bypassed
+            # and left untouched until the transaction ends
             version = getattr(chosen, "mutation_version", None)
-            if self._bound_digest is not None and version == self._bound_digest_version:
+            held = getattr(chosen, "_version_hold", False)
+            if (
+                not held
+                and self._bound_digest is not None
+                and version == self._bound_digest_version
+            ):
                 return self._bound_digest
             digest = schema_digest(self._engine.resolve_schema(chosen))
-            self._bound_digest = digest
-            self._bound_digest_version = version
+            if not held:
+                self._bound_digest = digest
+                self._bound_digest_version = version
             return digest
         return schema_digest(self._engine.resolve_schema(chosen))
 
@@ -256,19 +286,77 @@ class ConnectionService:
             # graph's mutation_version (Relational/ER handles expose no
             # mutators and report None): repeat connect() calls skip the
             # graph rebuild AND the O(|V|+|A|) structural fingerprint,
-            # while any structural mutation bumps the version and falls
-            # back to the fingerprinted LRU lookup -- mutation safety
-            # without a per-query scan
+            # while any structural mutation bumps the version and either
+            # patches the previous context incrementally
+            # (config.incremental, see _rebind_context) or falls back to
+            # the fingerprinted LRU lookup -- mutation safety without a
+            # per-query scan.
+            # While a SchemaEditor transaction is OPEN the version is
+            # held, so it cannot gate anything: the memo is neither
+            # consulted nor updated, and every mid-transaction query is
+            # re-derived against the live (uncommitted) structure --
+            # otherwise a bind taken after one in-transaction edit would
+            # keep answering past the next one
             version = getattr(chosen, "mutation_version", None)
-            if self._bound_context is not None and version == self._bound_version:
+            held = getattr(chosen, "_version_hold", False)
+            if (
+                not held
+                and self._bound_context is not None
+                and version == self._bound_version
+            ):
                 # keep cache_stats() consistent with the cache_hit flag
                 self._engine.cache.count_external_hit()
                 return self._bound_context, True
-            context, hit = self._build_context(chosen, digest)
-            self._bound_context = context
-            self._bound_version = version
+            context, hit = self._rebind_context(chosen, digest)
+            if not held:
+                self._bound_context = context
+                self._bound_version = version
             return context, hit
         return self._build_context(chosen, digest)
+
+    def _rebind_context(self, schema: Any, digest: Optional[str] = None):
+        """Return ``(context, hit)`` for a bound schema whose version moved.
+
+        With :attr:`~repro.api.config.ServiceConfig.incremental` enabled
+        and a previous bound context available, the new context is derived
+        by :meth:`~repro.engine.cache.SchemaContext.apply_delta` from the
+        structural diff between the previous snapshot and the live graph:
+        only the biconnected blocks the edits touched are reclassified,
+        instead of paying the full Theorem 1 recognition.  The patched
+        context is adopted into the engine's LRU (under its new
+        fingerprint), so batch/parallel lookups and later services see it
+        too.  A structurally no-op version bump keeps the previous
+        context; anything unexpected falls back to the full
+        :meth:`_build_context` path -- incremental rebinding is an
+        optimisation, never a correctness dependency.
+        """
+        previous = self._bound_context
+        if previous is None or not self._config.incremental:
+            return self._build_context(schema, digest)
+        from repro.dynamic.delta import SchemaDelta
+
+        try:
+            resolved = self._engine.resolve_schema(schema)
+            delta = SchemaDelta.between(previous.graph, resolved)
+            if delta.is_empty():
+                # version moved but the structure did not (e.g. an edit
+                # transaction that cancelled out): the old context is
+                # exactly right
+                self._engine.cache.count_external_hit()
+                return previous, True
+            context = previous.apply_delta(delta)
+        except Exception:
+            # correctness is unaffected (the full rebuild answers
+            # identically) but the degradation must be visible:
+            # cache_stats()["rebind_fallbacks"] counts these
+            self._engine.cache.count_rebind_fallback()
+            return self._build_context(schema, digest)
+        self._engine.cache.adopt(context)
+        # report a rebuild (cache_hit=False): the first answer after a
+        # mutation pays incremental re-derivation, exactly as a fresh
+        # context's first answer pays classification
+        self._engine.cache.count_external_miss()
+        return context, False
 
     def _build_context(self, schema: Any, digest: Optional[str] = None):
         """LRU lookup with a disk-seeded classification on cold misses.
@@ -282,15 +370,22 @@ class ConnectionService:
         fingerprint pass.
         """
         resolved = self._engine.resolve_schema(schema)
-        disk = self._disk_cache()
+        if digest is not None:
+            disk = self._disk_cache()
+        else:
+            disk, digest = self._persistent_layer(schema)
         if disk is None:
             return self._engine.cache.lookup(resolved)
-        chosen_digest = digest if digest is not None else self._digest_of(schema)
+        chosen_digest = digest
         return self._engine.cache.lookup(
             resolved, report_factory=lambda: disk.load_report(chosen_digest)
         )
 
     def _plan(self, context: SchemaContext, request: ConnectionRequest, side: int) -> QueryPlan:
+        # degenerate terminal sets get explicit ValidationErrors at the one
+        # choke point every entry path shares (connect, batch, and the
+        # parallel executor's worker-side batches)
+        validate_terminals(context.graph, request.terminals)
         plan = plan_query(
             context,
             request.terminals,
@@ -394,10 +489,8 @@ class ConnectionService:
         """
         req = self._materialise(request, **kwargs)
         started = perf_counter()
-        disk = self._disk_cache()
-        digest = None
+        disk, digest = self._persistent_layer(req.schema)
         if disk is not None:
-            digest = self._digest_of(req.schema)
             replay = self._disk_lookup(disk, req, digest)
             if replay is not None:
                 return replay
@@ -440,8 +533,7 @@ class ConnectionService:
             requests, objective=objective, side=side, policy=policy
         )
         batch_schema = self._batch_schema(materialised, schema)
-        disk = self._disk_cache()
-        digest = self._digest_of(batch_schema) if disk is not None else None
+        disk, digest = self._persistent_layer(batch_schema)
         replayed = (
             self._disk_replay_scan(disk, materialised, digest)
             if disk is not None

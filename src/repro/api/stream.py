@@ -19,7 +19,7 @@ from itertools import combinations
 from time import perf_counter
 from typing import Iterator, List, Optional
 
-from repro.api.request import ConnectionRequest
+from repro.api.request import ConnectionRequest, validate_terminals
 from repro.api.result import ConnectionResult, Guarantee, Provenance
 from repro.exceptions import ValidationError
 from repro.graphs.graph import Graph
@@ -41,6 +41,14 @@ def _connection_solutions(
     minimum connection by construction.
     """
     terminal_set = frozenset(instance.terminals)
+    if not terminal_set:
+        # defense in depth: the stream validates before building this
+        # generator, but a bare ``next(iter(...))`` on an empty set below
+        # would surface as PEP 479's RuntimeError (or, pre-3.7, silently
+        # truncate the stream) -- an explicit error keeps the failure in
+        # the library's taxonomy even if a future caller skips validation
+        raise ValidationError("enumeration requires a non-empty terminal set")
+    root = next(iter(terminal_set))
     optional = sorted(graph.vertices() - terminal_set, key=repr)
     bound = len(optional) if max_extra is None else min(max_extra, len(optional))
     seen_vertex_sets = set()
@@ -51,7 +59,7 @@ def _connection_solutions(
             induced = graph.subgraph(kept)
             if not vertices_in_same_component(induced, terminal_set):
                 continue
-            component = component_containing(induced, next(iter(terminal_set)))
+            component = component_containing(induced, root)
             if frozenset(component) != frozenset(kept):
                 continue
             tree = spanning_tree(induced.subgraph(component))
@@ -119,6 +127,12 @@ class EnumerationStream:
             raise ValidationError("budget must be non-negative")
         if max_extra is not None and max_extra < 0:
             raise ValidationError("max_extra must be non-negative")
+        # degenerate terminal sets fail here, eagerly and explicitly --
+        # never from inside the lazy generator: an empty query must not
+        # surface as a silent empty stream or a PEP 479 RuntimeError.
+        # (A single terminal is valid: the stream opens with the trivial
+        # one-vertex connection, rank 1 OPTIMAL, then the supersets.)
+        validate_terminals(graph, request.terminals)
         self._request = request
         self._instance = SteinerInstance(graph, request.terminals)
         self._instance.require_feasible()

@@ -13,18 +13,28 @@ structure) reuse everything.
 
 Cache keys
 ----------
-``schema_fingerprint`` is ``(|V|, |A|, vertex reprs, edge reprs, side
-labels)``.  It is *structural*: two equal graphs share a context, and
+``schema_fingerprint`` is ``(|V|, |A|, vertex tokens, edge tokens, side
+labels)``, where a vertex token pairs the vertex's *type* with its
+``repr``.  It is *structural*: two equal graphs share a context, and
 mutating a graph between calls changes its fingerprint, which simply makes
 the engine rebuild (stale contexts age out of the LRU).  Each context
 snapshots a private copy of its graph at build time, so a cached entry
 stays valid even when the originally supplied graph object is mutated
 later.  The cache is in-memory only and never persisted.
+
+Because ``repr`` is not injective, a graph whose distinct vertices
+collide on their tokens (e.g. two instances of a class with a constant
+``__repr__``) cannot be keyed structurally at all: such *ambiguous*
+schemas fall back to identity keys that never match anything else, so
+they are always rebuilt rather than ever sharing a context (or a disk
+entry) with a different schema that merely prints the same.
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
+import uuid
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
@@ -69,27 +79,104 @@ class LRUCache:
         return key in self._data
 
 
+def vertex_token(vertex: Vertex) -> Tuple[str, str]:
+    """Return the ``(type, repr)`` token structural keys identify a vertex by.
+
+    Pairing the repr with the vertex's fully qualified type separates
+    values of different types that happen to print identically; it cannot
+    separate two instances of the *same* type with identical reprs, which
+    is what :func:`vertex_tokens` detects.
+    """
+    cls = type(vertex)
+    return (f"{cls.__module__}.{cls.__qualname__}", repr(vertex))
+
+
+def tokens_for(vertices) -> Optional[Dict[Vertex, Tuple[str, str]]]:
+    """Return ``{vertex: token}`` for an iterable, or ``None`` on collisions.
+
+    ``None`` means the vertices cannot be told apart structurally (two
+    distinct vertex objects share a ``(type, repr)`` token), so no
+    repr-based key -- fingerprint, digest, block key -- is trustworthy
+    for them; callers must fall back to identity keying or skip caching.
+    Duplicate *objects* in the iterable are fine (deduplicated by
+    identity/equality); only distinct objects colliding on a token count.
+    """
+    tokens: Dict[Vertex, Tuple[str, str]] = {}
+    seen = set()
+    for vertex in vertices:
+        if vertex in tokens:
+            continue
+        token = vertex_token(vertex)
+        if token in seen:
+            return None
+        seen.add(token)
+        tokens[vertex] = token
+    return tokens
+
+
+def vertex_tokens(graph: Graph) -> Optional[Dict[Vertex, Tuple[str, str]]]:
+    """Return ``{vertex: token}`` for a graph's vertex set (see :func:`tokens_for`)."""
+    return tokens_for(graph.vertices())
+
+
+#: Monotonic source of never-repeating identity keys for ambiguous schemas
+#: (see :func:`schema_fingerprint`); never reset, so no two lookups of
+#: ambiguous graphs can ever collide within a process.
+_AMBIGUOUS_KEYS = itertools.count()
+
+#: First element of every ambiguous fingerprint tuple.
+_AMBIGUOUS_FINGERPRINT_TAG = "ambiguous-schema"
+
+
+def fingerprint_is_ambiguous(key: Tuple) -> bool:
+    """Return ``True`` when ``key`` is a never-repeating identity fingerprint.
+
+    Such keys can never be looked up again, so caching anything under one
+    only evicts useful entries -- :class:`SchemaCache` skips insertion.
+    """
+    return bool(key) and key[0] == _AMBIGUOUS_FINGERPRINT_TAG
+
+#: Prefix marking the never-repeating digests of ambiguous schemas.
+AMBIGUOUS_DIGEST_PREFIX = "ambiguous-"
+
+
+def digest_is_ambiguous(digest: str) -> bool:
+    """Return ``True`` when ``digest`` addresses an ambiguous schema.
+
+    Such digests are unique per call (see :func:`schema_digest`):
+    correct to key in-memory transports on, useless to persist under.
+    """
+    return digest.startswith(AMBIGUOUS_DIGEST_PREFIX)
+
+
 def schema_fingerprint(graph: Graph) -> Tuple:
     """Return a structural cache key for a schema graph.
 
-    Equal graphs (same vertices by ``repr``, same edges, same bipartition)
-    map to the same key within one process.
+    Equal graphs (same vertices by ``(type, repr)`` token, same edges,
+    same bipartition) map to the same key within one process.  A graph
+    whose distinct vertices *collide* on their tokens is ambiguous -- no
+    repr-based key can distinguish it from a structurally different
+    schema that prints the same -- so it gets a fresh identity key on
+    every call: such schemas never share a cached context with anything
+    (including themselves), trading cache hits for correctness.
     """
-    vertex_reprs = frozenset(repr(v) for v in graph.vertices())
-    edge_reprs = frozenset(
-        frozenset((repr(u), repr(v))) for u, v in graph.edges()
+    tokens = vertex_tokens(graph)
+    if tokens is None:
+        return (_AMBIGUOUS_FINGERPRINT_TAG, next(_AMBIGUOUS_KEYS))
+    edge_tokens = frozenset(
+        frozenset((tokens[u], tokens[v])) for u, v in graph.edges()
     )
     sides: Optional[FrozenSet] = None
     if isinstance(graph, BipartiteGraph):
-        sides = frozenset((repr(v), graph.side_of(v)) for v in graph.vertices())
-    # the structures themselves are the key (hashable, collision-free);
-    # collapsing them through hash() would let two distinct schemas
-    # silently share a cached context
+        sides = frozenset((tokens[v], graph.side_of(v)) for v in graph.vertices())
+    # the structures themselves are the key (hashable); collapsing them
+    # through hash() would let two distinct schemas silently share a
+    # cached context
     return (
         graph.number_of_vertices(),
         graph.number_of_edges(),
-        vertex_reprs,
-        edge_reprs,
+        frozenset(tokens.values()),
+        edge_tokens,
         sides,
     )
 
@@ -98,27 +185,59 @@ def schema_digest(graph: Graph) -> str:
     """Return a stable hex digest of a schema graph's structure.
 
     The digest hashes the same structural facts as :func:`schema_fingerprint`
-    (vertex reprs, edge reprs, bipartition labels) but canonically ordered
+    (vertex tokens, edge tokens, bipartition labels) but canonically ordered
     and serialised, so it is stable across processes and interpreter runs --
     which the in-process fingerprint tuples (built on ``frozenset``) are
     not.  The persistent layer (:class:`repro.runtime.diskcache.DiskCache`)
     and the parallel executor's worker transport key everything on it:
     mutating a graph changes its digest, which safely invalidates every
     derived artifact.
+
+    An *ambiguous* graph (distinct vertices sharing a ``(type, repr)``
+    token, see :func:`vertex_tokens`) has no trustworthy structural
+    address; it gets a process-unique random digest per call, marked by
+    :data:`AMBIGUOUS_DIGEST_PREFIX`, so nothing keyed on it can ever be
+    served to a different schema that merely prints the same.  Callers
+    that *store* by digest check :func:`digest_is_ambiguous` first and
+    skip persistence entirely (a never-replayable entry would be pure
+    write-only garbage in an append-only store).
     """
+    tokens = vertex_tokens(graph)
+    if tokens is None:
+        return f"{AMBIGUOUS_DIGEST_PREFIX}{uuid.uuid4().hex}"
+
+    def encoded(token: Tuple[str, str]) -> bytes:
+        # length-prefix every component: a repr can contain ANY bytes
+        # (including whatever separator or section marker we might pick),
+        # so only self-delimiting blobs make the hashed stream injective
+        # -- without this, a crafted __repr__ could forge vertex/edge
+        # boundaries and collide two structurally different schemas
+        parts = []
+        for component in token:
+            blob = component.encode("utf-8", "backslashreplace")
+            parts.append(len(blob).to_bytes(8, "big"))
+            parts.append(blob)
+        return b"".join(parts)
+
     hasher = hashlib.sha256()
-    for vertex_repr in sorted(repr(v) for v in graph.vertices()):
+    hasher.update(graph.number_of_vertices().to_bytes(8, "big"))
+    hasher.update(graph.number_of_edges().to_bytes(8, "big"))
+    for vertex_blob in sorted(encoded(token) for token in tokens.values()):
         hasher.update(b"v")
-        hasher.update(vertex_repr.encode("utf-8", "backslashreplace"))
-    for edge_repr in sorted(
-        "|".join(sorted((repr(u), repr(v)))) for u, v in graph.edges()
+        hasher.update(vertex_blob)
+    for edge_blob in sorted(
+        b"".join(sorted((encoded(tokens[u]), encoded(tokens[v]))))
+        for u, v in graph.edges()
     ):
         hasher.update(b"e")
-        hasher.update(edge_repr.encode("utf-8", "backslashreplace"))
+        hasher.update(edge_blob)
     if isinstance(graph, BipartiteGraph):
-        for side_repr in sorted(f"{graph.side_of(v)}:{v!r}" for v in graph.vertices()):
+        for side_blob in sorted(
+            str(graph.side_of(v)).encode("ascii") + encoded(tokens[v])
+            for v in graph.vertices()
+        ):
             hasher.update(b"s")
-            hasher.update(side_repr.encode("utf-8", "backslashreplace"))
+            hasher.update(side_blob)
     return hasher.hexdigest()
 
 
@@ -137,6 +256,17 @@ class SidePlan:
     ordering: Optional[Tuple[int, ...]]
 
 
+def _new_block_classifier():
+    """Return a fresh blockwise classifier (function-level import by layering).
+
+    ``repro.dynamic.blocks`` imports this module for its LRU and token
+    helpers, so the reverse import must stay out of module scope.
+    """
+    from repro.dynamic.blocks import BlockClassifier
+
+    return BlockClassifier()
+
+
 class SchemaContext:
     """All schema-level precomputations the engine reuses across queries."""
 
@@ -153,6 +283,11 @@ class SchemaContext:
         self._bfs_rows = LRUCache(maxsize=4096)
         self._side_plans: Dict[Tuple[int, int], SidePlan] = {}
         self._components: Optional[List[FrozenSet[int]]] = None
+        # blockwise incremental classifier, shared (by reference) along
+        # every apply_delta chain rooted here, so surviving blocks never
+        # pay Theorem 1 recognition again; does no work until a delta is
+        # actually applied
+        self._blocks = _new_block_classifier()
 
     # ------------------------------------------------------------------
     # shard transport (parallel workers)
@@ -192,6 +327,7 @@ class SchemaContext:
         context._bfs_rows = LRUCache(maxsize=4096)
         context._side_plans = {}
         context._components = None
+        context._blocks = _new_block_classifier()
         return context
 
     # ------------------------------------------------------------------
@@ -208,6 +344,51 @@ class SchemaContext:
         """Adopt a classification computed elsewhere (e.g. by a finder)."""
         if self._report is None:
             self._report = report
+
+    # ------------------------------------------------------------------
+    # incremental evolution (repro.dynamic)
+    # ------------------------------------------------------------------
+    def apply_delta(self, delta) -> "SchemaContext":
+        """Return a new context for the edited schema without a full rebuild.
+
+        ``delta`` is a :class:`~repro.dynamic.delta.SchemaDelta` (net
+        edits relative to this context's snapshot graph).  The returned
+        context is observably equivalent to
+        ``SchemaContext(edited_graph)`` -- same graph, same indexed
+        backend, same classification -- but derived incrementally:
+
+        * the snapshot graph is patched in place of being re-supplied;
+        * the CSR/bitset backend is patched from the old arrays plus the
+          delta's edge changes (the label index is reused verbatim when
+          the vertex set did not change; vertex churn re-derives it);
+        * the Theorem 1 classification is maintained blockwise through
+          the shared :class:`~repro.dynamic.blocks.BlockClassifier` --
+          cut vertices act as local separators, so only blocks the edit
+          touched (or merged) are reclassified, and the full recognition
+          is only ever paid *inside* a new block;
+        * per-query caches (BFS rows, side plans, components) start
+          empty: a structural edit can shift distances and components
+          globally, and they re-amortise across the next queries.
+
+        The original context is not modified (version-keyed callers such
+        as the engine LRU may still be holding it); the block memo is
+        shared by reference, which only ever *adds* cached verdicts.
+        """
+        new_graph = self.graph.copy()
+        delta.apply_to(new_graph)
+        context = SchemaContext.__new__(SchemaContext)
+        context.graph = new_graph
+        if delta.added_vertices or delta.removed_vertices:
+            context.indexed, context.index = to_indexed(new_graph)
+        else:
+            context.index = self.index
+            context.indexed = _patch_indexed(self.indexed, self.index, delta)
+        context._blocks = self._blocks
+        context._report = self._blocks.classify(new_graph)
+        context._bfs_rows = LRUCache(maxsize=4096)
+        context._side_plans = {}
+        context._components = None
+        return context
 
     # ------------------------------------------------------------------
     # distances
@@ -281,11 +462,32 @@ class SchemaContext:
         return plan
 
 
+def _patch_indexed(indexed: IndexedGraph, index: GraphIndex, delta) -> IndexedGraph:
+    """Rebuild the CSR backend from the old arrays plus an edge-only delta.
+
+    Only valid when the delta touches no vertices: ids and labels stay
+    put, so the new :class:`IndexedGraph` is assembled from the old CSR
+    edge stream minus the removed edges plus the added ones -- an
+    O(|V| + |A|) array pass that skips the repr-sorted label ordering and
+    dictionary building of a full :func:`to_indexed` conversion.
+    """
+    ids = index.ids
+    removed = {
+        frozenset((ids[u], ids[v])) for u, v in delta.removed_edges
+    }
+    edges: List[Tuple[int, int]] = [
+        edge for edge in indexed.edges() if frozenset(edge) not in removed
+    ]
+    edges.extend((ids[u], ids[v]) for u, v in delta.added_edges)
+    return IndexedGraph(indexed.n, edges=edges, sides=indexed.sides)
+
+
 class SchemaCache:
     """LRU of :class:`SchemaContext` objects keyed by schema fingerprint."""
 
     def __init__(self, maxsize: int = 16) -> None:
         self._contexts = LRUCache(maxsize=maxsize)
+        self.rebind_fallbacks = 0
 
     def lookup(
         self,
@@ -309,7 +511,10 @@ class SchemaCache:
             if report is None and report_factory is not None:
                 report = report_factory()
             context = SchemaContext(graph, report=report)
-            self._contexts.put(key, context)
+            if not fingerprint_is_ambiguous(key):
+                # an ambiguous key can never be looked up again; caching
+                # under it would only evict contexts that can
+                self._contexts.put(key, context)
         elif report is not None:
             context.seed_report(report)
         return context, hit
@@ -326,9 +531,13 @@ class SchemaCache:
         Used by pool workers to seed their cache with a context rebuilt
         from transported shard state
         (:meth:`SchemaContext.from_shard_state`), so the first query pays
-        no classification or re-indexing.
+        no classification or re-indexing.  Contexts of ambiguous graphs
+        are not insertable (their fingerprints never repeat) and are
+        silently skipped.
         """
-        self._contexts.put(schema_fingerprint(context.graph), context)
+        key = schema_fingerprint(context.graph)
+        if not fingerprint_is_ambiguous(key):
+            self._contexts.put(key, context)
 
     def count_external_hit(self) -> None:
         """Record a context served from a caller-side memo above this cache.
@@ -340,6 +549,26 @@ class SchemaCache:
         """
         self._contexts.hits += 1
 
+    def count_external_miss(self) -> None:
+        """Record a context (re)built above this cache without a lookup.
+
+        The service's incremental rebind path derives a patched context
+        directly from the previous one (no fingerprint lookup happens);
+        counting it as a miss keeps :meth:`stats` consistent with the
+        ``cache_hit=False`` provenance those answers carry.
+        """
+        self._contexts.misses += 1
+
+    def count_rebind_fallback(self) -> None:
+        """Record an incremental rebind that fell back to a full rebuild.
+
+        The service's incremental path is an optimisation with a silent
+        full-rebuild fallback; answers stay correct either way, so only
+        this counter reveals when the fast path has stopped firing (a
+        healthy churn workload keeps it at zero).
+        """
+        self.rebind_fallbacks += 1
+
     def stats(self) -> dict:
         """Return observability counters for the underlying LRU."""
         return {
@@ -347,6 +576,7 @@ class SchemaCache:
             "misses": self._contexts.misses,
             "size": len(self._contexts),
             "maxsize": self._contexts.maxsize,
+            "rebind_fallbacks": self.rebind_fallbacks,
         }
 
     def __len__(self) -> int:

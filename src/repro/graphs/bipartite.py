@@ -78,11 +78,10 @@ class BipartiteGraph(Graph):
         result = cls(left=left_set, right=right_set, edges=graph.edges())
         return result
 
-    def copy(self) -> "BipartiteGraph":
-        clone = BipartiteGraph(left=self.left(), right=self.right())
-        for u, v in self.edges():
-            clone.add_edge(u, v)
-        return clone
+    # ``copy()`` is inherited: the base :meth:`Graph.copy` carries the
+    # ``_side`` mapping over through the ``_copy_subclass_state_into`` hook
+    # before replaying the structure, so bipartite clones round-trip their
+    # bipartition without a bespoke override (tests pin this).
 
     # ------------------------------------------------------------------
     # side bookkeeping

@@ -15,12 +15,21 @@ file stays a pure data structure.
 
 from __future__ import annotations
 
+import copy as _copy
 from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Set, Tuple
 
 from repro.exceptions import GraphError
 
 Vertex = Hashable
 Edge = Tuple[Vertex, Vertex]
+
+#: Instance attributes owned by :class:`Graph` itself.  The generic
+#: subclass-state copy hook (:meth:`Graph._copy_subclass_state_into`) skips
+#: these: structure is rebuilt through the mutation API and version
+#: bookkeeping starts fresh on every clone.
+_GRAPH_BASE_ATTRS = frozenset(
+    {"_adjacency", "_mutation_version", "_version_hold", "_version_hold_touched"}
+)
 
 
 class Graph:
@@ -51,6 +60,12 @@ class Graph:
     ) -> None:
         self._adjacency: Dict[Vertex, Set[Vertex]] = {}
         self._mutation_version = 0
+        # transaction support (repro.dynamic.SchemaEditor): while a hold
+        # is active, structural changes do not bump the version, only
+        # mark the hold as touched; releasing a touched hold bumps
+        # exactly once -- even on rollback -- see _release_version
+        self._version_hold = False
+        self._version_hold_touched = False
         for vertex in vertices:
             self.add_vertex(vertex)
         for u, v in edges:
@@ -79,11 +94,36 @@ class Graph:
         return graph
 
     def copy(self) -> "Graph":
-        """Return an independent copy of this graph."""
+        """Return an independent copy of this graph (subclasses included).
+
+        The clone is built in three steps: fresh base state, then the
+        :meth:`_copy_subclass_state_into` hook (which by default carries
+        over *every* attribute :class:`Graph` itself does not own), then
+        the structure via the public mutation API.  Subclasses therefore
+        round-trip through the base ``copy`` without overriding it; a
+        subclass whose extra state needs more than a per-attribute shallow
+        copy overrides the hook, not ``copy`` itself.
+        """
         clone = type(self).__new__(type(self))
         Graph.__init__(clone)
+        self._copy_subclass_state_into(clone)
         self._copy_structure_into(clone)
         return clone
+
+    def _copy_subclass_state_into(self, other: "Graph") -> None:
+        """Copy non-structural subclass state into ``other`` (overridable hook).
+
+        The default implementation shallow-copies (``copy.copy``) every
+        instance attribute not owned by :class:`Graph` itself, so a
+        subclass that adds e.g. a side mapping or display names is cloned
+        correctly even when it never heard of ``copy()``.  Runs *before*
+        :meth:`_copy_structure_into`, because subclass mutation methods
+        (e.g. :meth:`~repro.graphs.bipartite.BipartiteGraph.add_vertex`)
+        may consult that state while the structure is replayed.
+        """
+        for name, value in self.__dict__.items():
+            if name not in _GRAPH_BASE_ATTRS:
+                other.__dict__[name] = _copy.copy(value)
 
     def _copy_structure_into(self, other: "Graph") -> None:
         """Copy vertices and edges into ``other`` (used by subclasses)."""
@@ -101,15 +141,33 @@ class Graph:
 
         Callers that memoise derived structures (e.g. the service façade's
         bound schema context) compare versions instead of re-fingerprinting
-        the whole graph per call; no-op mutations do not bump it.
+        the whole graph per call; no-op mutations do not bump it.  During
+        an open :class:`~repro.dynamic.SchemaEditor` transaction the
+        version is *held*: it moves at most once, when the transaction
+        ends -- on commit, and also on rollback or a cancelled-out
+        commit if any edit ran meanwhile (see :meth:`_release_version`),
+        so no reader can stay bound to a mid-transaction snapshot.
         """
         return self._mutation_version
+
+    def _bump_version(self) -> None:
+        """Record one structural change (deferred while a hold is active).
+
+        Under a hold the version itself stays put (one bump per
+        transaction), but the change is remembered: a touched hold bumps
+        at release no matter how it ends, because a version-gated cache
+        may have snapshotted the intermediate structure in the meantime.
+        """
+        if self._version_hold:
+            self._version_hold_touched = True
+        else:
+            self._mutation_version += 1
 
     def add_vertex(self, vertex: Vertex) -> None:
         """Add ``vertex`` if not already present (idempotent)."""
         if vertex not in self._adjacency:
             self._adjacency[vertex] = set()
-            self._mutation_version += 1
+            self._bump_version()
 
     def add_edge(self, u: Vertex, v: Vertex) -> None:
         """Add the undirected edge ``{u, v}`` (idempotent).
@@ -124,7 +182,7 @@ class Graph:
         if v not in self._adjacency[u]:
             self._adjacency[u].add(v)
             self._adjacency[v].add(u)
-            self._mutation_version += 1
+            self._bump_version()
 
     def remove_vertex(self, vertex: Vertex) -> None:
         """Remove ``vertex`` and all edges incident to it."""
@@ -133,7 +191,40 @@ class Graph:
         for neighbor in self._adjacency[vertex]:
             self._adjacency[neighbor].discard(vertex)
         del self._adjacency[vertex]
-        self._mutation_version += 1
+        self._bump_version()
+
+    def _hold_version(self) -> None:
+        """Begin deferring version bumps (one open hold at a time).
+
+        Used by :class:`~repro.dynamic.SchemaEditor`: mutations made
+        while the hold is active do not bump the version;
+        :meth:`_release_version` turns the whole batch into at most one
+        bump.  Raises :class:`GraphError` when a hold is already active,
+        which is how nested transactions are rejected.
+        """
+        if self._version_hold:
+            raise GraphError("a version hold (open transaction) is already active")
+        self._version_hold = True
+        self._version_hold_touched = False
+
+    def _release_version(self, bump: bool) -> None:
+        """End a hold; bump once when asked to *or* when the hold was touched.
+
+        The touched case covers rollbacks and structurally cancelled-out
+        commits: the graph ends where it started, but a version-gated
+        reader that took its first snapshot *during* the transaction
+        captured the intermediate structure -- without a bump it would
+        keep serving that dirty snapshot forever.  A spurious bump is
+        always safe (it merely forces the next reader to revalidate,
+        which finds an empty structural delta and reuses everything); a
+        missing bump is a permanent stale answer.
+        """
+        if not self._version_hold:
+            raise GraphError("no version hold is active")
+        self._version_hold = False
+        if bump or self._version_hold_touched:
+            self._mutation_version += 1
+        self._version_hold_touched = False
 
     def remove_edge(self, u: Vertex, v: Vertex) -> None:
         """Remove the edge ``{u, v}``."""
@@ -141,7 +232,7 @@ class Graph:
             raise GraphError(f"edge ({u!r}, {v!r}) is not in the graph")
         self._adjacency[u].discard(v)
         self._adjacency[v].discard(u)
-        self._mutation_version += 1
+        self._bump_version()
 
     # ------------------------------------------------------------------
     # queries

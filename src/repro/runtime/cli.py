@@ -1,12 +1,15 @@
 """Command-line entry point: ``python -m repro run <spec.json>``.
 
 The CLI executes a :class:`~repro.runtime.workload.WorkloadSpec` through
-the full phase matrix -- serial cold, serial warm, parallel, and (with
-``--cache-dir``) disk-populate and disk-warm -- prints a human-readable
-summary, and optionally writes the complete
-:class:`~repro.runtime.workload.WorkloadReport` as JSON.  The process
-exits non-zero when any phase disagrees with the others on the canonical
-answer checksum, so the CLI doubles as a deterministic end-to-end check.
+the full phase matrix -- serial cold, serial warm, parallel, (with
+``--cache-dir``) disk-populate and disk-warm, and (with a ``churn`` mix
+in the spec) the schema-evolution phases churn-incremental and
+churn-oracle -- prints a human-readable summary, and optionally writes
+the complete :class:`~repro.runtime.workload.WorkloadReport` as JSON.
+The process exits non-zero when any phase disagrees with its checksum
+group on the canonical answers, so the CLI doubles as a deterministic
+end-to-end check (including "incremental churn answers == fresh-context
+oracle answers").
 
 Subcommands::
 
@@ -27,7 +30,10 @@ from repro.exceptions import ValidationError
 from repro.runtime.workload import WorkloadReport, WorkloadSpec, run_workload
 
 #: The starter spec printed by ``spec-template``: the 515-vertex
-#: (6,2)-chordal acceptance workload.
+#: (6,2)-chordal acceptance workload, including a schema-churn phase
+#: (``verify`` is off because the fresh-context oracle would re-run the
+#: full Theorem 1 recognition after every edit at this schema size; the
+#: CI smoke spec runs a smaller schema with the oracle on).
 TEMPLATE = {
     "name": "chordal-515",
     "schema": {"generator": "random_62_chordal_graph",
@@ -37,6 +43,8 @@ TEMPLATE = {
     "shard_size": None,
     "batch_size": None,
     "seed": 0,
+    "churn": {"edits": 25, "queries_per_edit": 8, "terminals": 3,
+              "seed": 11, "verify": False},
 }
 
 
@@ -104,11 +112,11 @@ def _print_summary(report: WorkloadReport) -> None:
     )
     print(f"queries   : {report.queries}")
     print()
-    print(f"{'phase':<14} {'workers':>7} {'seconds':>10} {'q/s':>10}")
+    print(f"{'phase':<18} {'workers':>7} {'seconds':>10} {'q/s':>10}")
     for phase in report.phases:
         rate = phase.queries / phase.seconds if phase.seconds > 0 else float("inf")
         print(
-            f"{phase.name:<14} {phase.workers:>7} {phase.seconds:>10.3f} "
+            f"{phase.name:<18} {phase.workers:>7} {phase.seconds:>10.3f} "
             f"{rate:>10.1f}"
         )
     print()
@@ -118,6 +126,9 @@ def _print_summary(report: WorkloadReport) -> None:
     if report.disk_warm_ratio is not None:
         print(f"disk-warm / serial-warm ratio                 : "
               f"{report.disk_warm_ratio:.2f}")
+    if report.churn_speedup is not None:
+        print(f"churn speedup (oracle / incremental)          : "
+              f"{report.churn_speedup:.2f}x")
     solvers = ", ".join(f"{name}={count}" for name, count in report.solver_histogram)
     guarantees = ", ".join(
         f"{name}={count}" for name, count in report.guarantee_histogram

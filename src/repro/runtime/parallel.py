@@ -209,8 +209,7 @@ class ParallelExecutor:
         service = self._service
         resolved = service.engine.resolve_schema(batch_schema)
 
-        disk = service._disk_cache()
-        digest = service._digest_of(batch_schema) if disk is not None else None
+        disk, digest = service._persistent_layer(batch_schema)
         replayed = (
             service._disk_replay_scan(disk, materialised, digest)
             if disk is not None
@@ -293,15 +292,20 @@ class ParallelExecutor:
         already computed the schema ``digest`` passes it in.
         """
         version = getattr(schema, "mutation_version", None)
+        # an open SchemaEditor transaction holds the version, so it
+        # cannot key the memo: mid-transaction dispatches re-pickle from
+        # the live structure and leave the memo untouched
+        held = getattr(schema, "_version_hold", False)
         memo = self._transport
-        if memo is not None and memo[0] is schema and memo[1] == version:
+        if not held and memo is not None and memo[0] is schema and memo[1] == version:
             return memo[2], memo[3]
         if digest is None:
             digest = schema_digest(resolved)
         state_blob = pickle.dumps(
             context.shard_state(), protocol=pickle.HIGHEST_PROTOCOL
         )
-        self._transport = (schema, version, digest, state_blob)
+        if not held:
+            self._transport = (schema, version, digest, state_blob)
         return digest, state_blob
 
     def _shard(self, pending: List) -> List[List]:

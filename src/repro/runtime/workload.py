@@ -3,13 +3,18 @@
 A :class:`WorkloadSpec` is a JSON-friendly description of a complete
 experiment: which schema to generate (generator name + parameters), what
 query traffic to run against it (one or more :class:`QueryMix` entries:
-count, terminals per query, objective, seeds), and how to execute it
-(workers, shard size, batch size).  :func:`run_workload` executes a spec
-through every interesting configuration -- serial cold, serial warm,
-parallel, and (with a cache directory) disk-populate and disk-warm -- and
-returns a :class:`WorkloadReport` with per-phase wall times, speedups, a
-solver/guarantee histogram, and a determinism checksum asserting that
-every phase produced identical answers.
+count, terminals per query, objective, seeds), how to execute it
+(workers, shard size, batch size), and optionally a *churn* phase
+(:class:`ChurnMix`): interleaved schema mutations and queries that
+exercise the incremental dynamic-schema machinery of ``repro.dynamic``.
+:func:`run_workload` executes a spec through every interesting
+configuration -- serial cold, serial warm, parallel, (with a cache
+directory) disk-populate and disk-warm, and (with a churn mix) the
+mutation phases -- and returns a :class:`WorkloadReport` with per-phase
+wall times, speedups, a solver/guarantee histogram, and determinism
+checksums asserting that every phase of a group produced identical
+answers (the churn phases answer *mutated* schemas, so they form their
+own checksum group, verified against a fresh-context oracle).
 
 This is the workload layer behind the ``python -m repro run`` CLI
 (:mod:`repro.runtime.cli`).
@@ -32,6 +37,7 @@ from __future__ import annotations
 
 import hashlib
 import inspect
+import itertools
 import json
 import random
 from dataclasses import dataclass, field
@@ -49,7 +55,9 @@ from repro.datasets.generators import (
     random_gamma_schema_graph,
     random_terminals,
 )
+from repro.dynamic.editor import SchemaEditor
 from repro.exceptions import ValidationError
+from repro.graphs.bipartite import BipartiteGraph
 from repro.runtime.parallel import ParallelExecutor
 
 #: Schema generators a spec may name (an allowlist: specs are data, and
@@ -103,6 +111,66 @@ class QueryMix:
             raise ValidationError("query mix side must be 1 or 2")
 
 
+#: Mutation kinds a churn mix may request (an allowlist, like GENERATORS).
+CHURN_KINDS = ("grow-leaf", "prune-leaf", "drop-edge", "attach-block")
+
+
+@dataclass(frozen=True)
+class ChurnMix:
+    """The schema-evolution slice of a workload: edits interleaved with queries.
+
+    Attributes
+    ----------
+    edits:
+        Number of mutation steps.  Each step applies one editor
+        transaction (a single-edge edit or a small block attachment,
+        drawn from ``kinds``) and then answers ``queries_per_edit``
+        fresh queries against the mutated schema.
+    kinds:
+        Allowed mutation kinds, a subset of :data:`CHURN_KINDS`:
+        ``grow-leaf`` (new pendant concept), ``prune-leaf`` (drop a
+        degree-1 concept), ``drop-edge`` (remove an association),
+        ``attach-block`` (glue a small complete bipartite block onto an
+        existing concept, as one multi-edit transaction).
+    queries_per_edit / terminals:
+        Query traffic per mutation step (terminal sets are sampled from
+        the mutated schema's largest component, so they stay feasible).
+    seed:
+        Optional churn RNG seed; defaults to a value derived from the
+        spec-level seed.
+    verify:
+        When ``True`` (default) the churn traffic is answered twice --
+        once by an incremental service, once by a fresh-context oracle
+        that fully rebuilds after every mutation -- and the two answer
+        streams must agree checksum-for-checksum.  Disable for very
+        large schemas where the oracle's per-step Theorem 1 recognition
+        is prohibitive.
+    """
+
+    edits: int
+    kinds: Tuple[str, ...] = CHURN_KINDS
+    queries_per_edit: int = 4
+    terminals: int = 3
+    seed: Optional[int] = None
+    verify: bool = True
+
+    def __post_init__(self) -> None:
+        if self.edits < 1:
+            raise ValidationError("churn edits must be >= 1")
+        if self.queries_per_edit < 1:
+            raise ValidationError("churn queries_per_edit must be >= 1")
+        if self.terminals < 1:
+            raise ValidationError("churn terminals must be >= 1")
+        object.__setattr__(self, "kinds", tuple(self.kinds))
+        if not self.kinds:
+            raise ValidationError("churn kinds must not be empty")
+        unknown = sorted(set(self.kinds) - set(CHURN_KINDS))
+        if unknown:
+            raise ValidationError(
+                f"unknown churn kind(s) {unknown}; known: {list(CHURN_KINDS)}"
+            )
+
+
 @dataclass(frozen=True)
 class WorkloadSpec:
     """A complete, JSON-serialisable workload description.
@@ -125,6 +193,9 @@ class WorkloadSpec:
         batch), modelling paged arrival of requests.
     seed:
         Base RNG seed for query sampling.
+    churn:
+        Optional :class:`ChurnMix` describing the schema-evolution phase
+        (``None`` = static schema, no churn phases).
     """
 
     name: str
@@ -135,6 +206,7 @@ class WorkloadSpec:
     shard_size: Optional[int] = None
     batch_size: Optional[int] = None
     seed: int = 0
+    churn: Optional[ChurnMix] = None
 
     def __post_init__(self) -> None:
         if self.generator not in GENERATORS:
@@ -178,7 +250,7 @@ class WorkloadSpec:
             raise ValidationError("a workload spec must be a JSON object")
         unknown = set(data) - {
             "name", "schema", "queries", "workers", "shard_size",
-            "batch_size", "seed",
+            "batch_size", "seed", "churn",
         }
         if unknown:
             raise ValidationError(f"unknown spec field(s): {sorted(unknown)}")
@@ -207,6 +279,20 @@ class WorkloadSpec:
                     f"unknown query-mix field(s): {sorted(mix_unknown)}"
                 )
             mixes.append(QueryMix(**entry))
+        churn_data = data.get("churn")
+        churn: Optional[ChurnMix] = None
+        if churn_data is not None:
+            if not isinstance(churn_data, dict):
+                raise ValidationError("'churn' must be an object (or omitted)")
+            churn_unknown = set(churn_data) - {
+                "edits", "kinds", "queries_per_edit", "terminals", "seed",
+                "verify",
+            }
+            if churn_unknown:
+                raise ValidationError(
+                    f"unknown churn field(s): {sorted(churn_unknown)}"
+                )
+            churn = ChurnMix(**churn_data)
         return cls(
             name=str(data.get("name", "workload")),
             generator=schema["generator"],
@@ -216,6 +302,7 @@ class WorkloadSpec:
             shard_size=data.get("shard_size"),
             batch_size=data.get("batch_size"),
             seed=int(data.get("seed", 0)),
+            churn=churn,
         )
 
     @classmethod
@@ -229,7 +316,7 @@ class WorkloadSpec:
 
     def to_dict(self) -> dict:
         """Return the canonical dict form (round-trips through ``from_dict``)."""
-        return {
+        data = {
             "name": self.name,
             "schema": {"generator": self.generator, "params": dict(self.params)},
             "queries": [
@@ -247,6 +334,16 @@ class WorkloadSpec:
             "batch_size": self.batch_size,
             "seed": self.seed,
         }
+        if self.churn is not None:
+            data["churn"] = {
+                "edits": self.churn.edits,
+                "kinds": list(self.churn.kinds),
+                "queries_per_edit": self.churn.queries_per_edit,
+                "terminals": self.churn.terminals,
+                "seed": self.churn.seed,
+                "verify": self.churn.verify,
+            }
+        return data
 
     # ------------------------------------------------------------------
     # materialisation
@@ -276,13 +373,20 @@ class WorkloadSpec:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class PhaseResult:
-    """Wall time and context for one executed phase of a workload run."""
+    """Wall time and context for one executed phase of a workload run.
+
+    ``group`` scopes the determinism contract: phases of the same group
+    must agree on the answer checksum.  The static phases all answer the
+    same schema and share group ``"main"``; the churn phases answer a
+    *mutating* schema and form group ``"churn"`` of their own.
+    """
 
     name: str
     seconds: float
     queries: int
     workers: int
     checksum: str
+    group: str = "main"
 
     def to_dict(self) -> dict:
         """Return the JSON form of this phase."""
@@ -292,6 +396,7 @@ class PhaseResult:
             "queries": self.queries,
             "workers": self.workers,
             "checksum": self.checksum,
+            "group": self.group,
         }
 
 
@@ -300,11 +405,15 @@ class WorkloadReport:
     """Everything one workload run produced, ready for JSON serialisation.
 
     ``checksum`` is a digest over the canonical answers (trees, costs,
-    guarantees, solvers -- no timings, no cache flags); every phase must
-    reproduce it, and ``checksums_consistent`` says whether they did.
-    The speedup fields compare warm phases only, so they measure the
-    steady-state effect of parallelism / persistence rather than the
-    one-off classification cost (which ``cold_seconds`` reports).
+    guarantees, solvers -- no timings, no cache flags); every phase of a
+    checksum group must reproduce its group's digest, and
+    ``checksums_consistent`` says whether they all did.  The speedup
+    fields compare warm phases only, so they measure the steady-state
+    effect of parallelism / persistence rather than the one-off
+    classification cost (which ``cold_seconds`` reports);
+    ``churn_speedup`` compares the incremental churn phase against the
+    fresh-context oracle (``None`` without churn or with
+    ``verify=false``).
     """
 
     spec: dict
@@ -318,6 +427,7 @@ class WorkloadReport:
     guarantee_histogram: Tuple[Tuple[str, int], ...]
     parallel_speedup: Optional[float] = None
     disk_warm_ratio: Optional[float] = None
+    churn_speedup: Optional[float] = None
     cache_stats: dict = field(default_factory=dict)
 
     def phase(self, name: str) -> Optional[PhaseResult]:
@@ -340,6 +450,7 @@ class WorkloadReport:
             "guarantee_histogram": dict(self.guarantee_histogram),
             "parallel_speedup": self.parallel_speedup,
             "disk_warm_ratio": self.disk_warm_ratio,
+            "churn_speedup": self.churn_speedup,
             "cache_stats": self.cache_stats,
         }
 
@@ -371,6 +482,112 @@ def canonical_checksum(results: Sequence[ConnectionResult]) -> str:
             json.dumps(record, sort_keys=True, default=repr).encode("utf-8")
         )
     return hasher.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# churn: deterministic schema mutations interleaved with queries
+# ----------------------------------------------------------------------
+def _opposite_side(graph, vertex) -> Optional[int]:
+    """Side for a fresh neighbour of ``vertex`` (``None`` on plain graphs)."""
+    if isinstance(graph, BipartiteGraph):
+        return 3 - graph.side_of(vertex)
+    return None
+
+
+def _churn_step(graph, rng: random.Random, kinds: Sequence[str], fresh_ids) -> str:
+    """Apply one mutation transaction to ``graph``; return the kind applied.
+
+    The kind is drawn from ``kinds``; inapplicable draws (no leaf to
+    prune, no edge to drop) fall through to the next candidate.  When
+    *no* allowed kind applies -- possible only for allowlists without a
+    growth kind, e.g. pure ``drop-edge`` churn on a schema that ran out
+    of edges -- the step raises instead of silently mutating outside the
+    allowlist.  All choices go through repr-sorted orderings and the
+    supplied RNG, so replaying the same seed against an equal graph
+    reproduces the same evolution -- which is how the churn oracle
+    re-derives the exact schema history.
+    """
+    candidates = list(kinds)
+    rng.shuffle(candidates)
+    for kind in candidates:
+        if kind == "grow-leaf":
+            anchor = rng.choice(graph.sorted_vertices())
+            vertex = ("churn", next(fresh_ids))
+            with SchemaEditor(graph) as tx:
+                tx.add_vertex(vertex, side=_opposite_side(graph, anchor))
+                tx.add_edge(vertex, anchor)
+            return kind
+        if kind == "prune-leaf":
+            leaves = [v for v in graph.sorted_vertices() if graph.degree(v) == 1]
+            if not leaves:
+                continue
+            with SchemaEditor(graph) as tx:
+                tx.remove_vertex(rng.choice(leaves))
+            return kind
+        if kind == "drop-edge":
+            edges = sorted(
+                (tuple(sorted(edge, key=repr)) for edge in graph.edges()), key=repr
+            )
+            if not edges:
+                continue
+            u, v = rng.choice(edges)
+            with SchemaEditor(graph) as tx:
+                tx.remove_edge(u, v)
+            return kind
+        if kind == "attach-block":
+            anchor = rng.choice(graph.sorted_vertices())
+            partner = ("churn", next(fresh_ids))
+            first = ("churn", next(fresh_ids))
+            second = ("churn", next(fresh_ids))
+            anchor_side = (
+                graph.side_of(anchor) if isinstance(graph, BipartiteGraph) else None
+            )
+            with SchemaEditor(graph) as tx:
+                tx.add_vertex(partner, side=anchor_side)
+                tx.add_vertex(first, side=_opposite_side(graph, anchor))
+                tx.add_vertex(second, side=_opposite_side(graph, anchor))
+                for hub in (anchor, partner):
+                    for spoke in (first, second):
+                        tx.add_edge(hub, spoke)
+            return kind
+    raise ValidationError(
+        f"no churn kind of {sorted(set(kinds))} is applicable to the current "
+        "schema (nothing left to prune or drop); include 'grow-leaf' or "
+        "'attach-block' for an always-applicable mutation mix"
+    )
+
+
+def _run_churn_side(
+    base_graph, churn: ChurnMix, seed: int, config: ServiceConfig
+) -> Tuple[List[ConnectionResult], float]:
+    """Answer the churn traffic once; return ``(results, seconds)``.
+
+    Both churn phases call this with an equal starting graph and the same
+    seed -- only ``config.incremental`` differs -- so they replay the
+    identical mutation/query history.  The service is warmed (context
+    built, first query answered) before the clock starts: what the phase
+    measures is the steady-state cost of *keeping up with mutations*, not
+    the one-off cold classification every other phase also pays.
+    """
+    graph = base_graph.copy()
+    service = ConnectionService(
+        schema=graph, config=config.with_overrides(cache_dir=None)
+    )
+    rng = random.Random(seed)
+    fresh_ids = itertools.count(1)
+    service.connect(random_terminals(graph, churn.terminals, rng=rng))
+    results: List[ConnectionResult] = []
+    started = perf_counter()
+    for _ in range(churn.edits):
+        _churn_step(graph, rng, churn.kinds, fresh_ids)
+        requests = [
+            ConnectionRequest.of(
+                random_terminals(graph, churn.terminals, rng=rng)
+            )
+            for _ in range(churn.queries_per_edit)
+        ]
+        results.extend(service.batch(requests))
+    return results, perf_counter() - started
 
 
 # ----------------------------------------------------------------------
@@ -407,11 +624,18 @@ def run_workload(
     4. ``disk-populate`` / ``disk-warm`` -- only with ``cache_dir``: a
        caching service computes-and-stores, then a *fresh* service replays
        everything from disk (no classification, no solving).
+    5. ``churn-incremental`` / ``churn-oracle`` -- only with a churn mix:
+       interleaved mutation+query traffic answered by an incremental
+       service, then (``verify=true``) replayed by a fresh-context oracle
+       that fully rebuilds after every mutation.  The two churn phases
+       answer mutated schemas, so they form their own checksum group.
 
     Every phase's answers are digested with :func:`canonical_checksum`;
-    the report flags any disagreement.  ``parallel_speedup`` is
+    the report flags any in-group disagreement.  ``parallel_speedup`` is
     serial-warm over parallel-warm; ``disk_warm_ratio`` is disk-warm over
-    serial-warm (< 1 means the disk replay beats in-memory solving).
+    serial-warm (< 1 means the disk replay beats in-memory solving);
+    ``churn_speedup`` is churn-oracle over churn-incremental (how much
+    faster the incremental service keeps up with schema evolution).
     """
     overridden_workers = workers if workers is not None else spec.workers
     overridden_shard = shard_size if shard_size is not None else spec.shard_size
@@ -425,9 +649,11 @@ def run_workload(
     by_guarantee: Dict[str, int] = {}
     cache_stats: dict = {}
 
-    def record_phase(name, seconds, results, phase_workers=1):
+    churn_checksums: List[str] = []
+
+    def record_phase(name, seconds, results, phase_workers=1, group="main"):
         checksum = canonical_checksum(results)
-        checksums.append(checksum)
+        (checksums if group == "main" else churn_checksums).append(checksum)
         phases.append(
             PhaseResult(
                 name=name,
@@ -435,6 +661,7 @@ def run_workload(
                 queries=len(results),
                 workers=phase_workers,
                 checksum=checksum,
+                group=group,
             )
         )
         return results
@@ -490,6 +717,36 @@ def run_workload(
         if warm_phase.seconds > 0:
             disk_warm_ratio = disk_seconds / warm_phase.seconds
 
+    churn_speedup = None
+    if spec.churn is not None:
+        churn = spec.churn
+        churn_seed = (
+            churn.seed if churn.seed is not None else spec.seed * 2000003 + 17
+        )
+        incremental_results, incremental_seconds = _run_churn_side(
+            graph, churn, churn_seed, config.with_overrides(incremental=True)
+        )
+        record_phase(
+            "churn-incremental", incremental_seconds, incremental_results,
+            group="churn",
+        )
+        if churn.verify:
+            # cache_size=1 makes "fresh context per mutation" literal:
+            # every step changes the structure, so consecutive lookups
+            # can never hit a one-slot LRU -- without it, an edit that
+            # restores a recently-seen structure could be served from
+            # the oracle's context cache, skipping the rebuild the
+            # oracle exists to pay
+            oracle_results, oracle_seconds = _run_churn_side(
+                graph, churn, churn_seed,
+                config.with_overrides(incremental=False, cache_size=1),
+            )
+            record_phase(
+                "churn-oracle", oracle_seconds, oracle_results, group="churn"
+            )
+            if incremental_seconds > 0:
+                churn_speedup = oracle_seconds / incremental_seconds
+
     return WorkloadReport(
         spec=spec.to_dict(),
         vertices=graph.number_of_vertices(),
@@ -497,10 +754,13 @@ def run_workload(
         queries=len(requests),
         phases=tuple(phases),
         checksum=checksums[0] if checksums else "",
-        checksums_consistent=len(set(checksums)) <= 1,
+        checksums_consistent=(
+            len(set(checksums)) <= 1 and len(set(churn_checksums)) <= 1
+        ),
         solver_histogram=tuple(sorted(by_solver.items())),
         guarantee_histogram=tuple(sorted(by_guarantee.items())),
         parallel_speedup=parallel_speedup,
         disk_warm_ratio=disk_warm_ratio,
+        churn_speedup=churn_speedup,
         cache_stats=cache_stats,
     )

@@ -102,3 +102,39 @@ class TestTwoColoring:
         plain = graph.as_graph()
         assert isinstance(plain, Graph) and not isinstance(plain, BipartiteGraph)
         assert plain.has_edge("A", 1)
+
+
+class TestCopyHook:
+    """Bipartite clones round-trip ``_side`` through the base copy hook."""
+
+    def test_copy_preserves_type_sides_and_independence(self):
+        graph = BipartiteGraph(
+            left=["A", "B"], right=[1, 2], edges=[("A", 1), ("B", 2)]
+        )
+        clone = graph.copy()
+        assert type(clone) is BipartiteGraph
+        assert clone == graph
+        assert {v: clone.side_of(v) for v in clone.vertices()} == {
+            v: graph.side_of(v) for v in graph.vertices()
+        }
+        # the side mapping is independent: growing the clone does not
+        # leak side entries back into the original
+        clone.add_left("C")
+        clone.add_edge("C", 1)
+        assert not graph.has_vertex("C")
+        with pytest.raises(GraphError):
+            graph.side_of("C")
+
+    def test_copy_of_mid_transaction_graph_is_clean(self):
+        from repro.dynamic import SchemaEditor
+
+        graph = BipartiteGraph(left=["A"], right=[1], edges=[("A", 1)])
+        editor = SchemaEditor(graph).begin()
+        editor.add_vertex("B", side=1)
+        clone = graph.copy()  # snapshot of the uncommitted structure
+        editor.rollback()
+        assert clone.has_vertex("B") and not graph.has_vertex("B")
+        # the clone carries no version hold: it bumps normally
+        v = clone.mutation_version
+        clone.add_edge("B", 1)
+        assert clone.mutation_version == v + 1

@@ -550,8 +550,9 @@ class TestPackaging:
     def test_version_and_exports(self):
         import repro
 
-        assert repro.__version__ == "1.3.0"
+        assert repro.__version__ == "1.4.0"
         for name in (
+            "BlockClassifier",
             "ConnectionRequest",
             "ConnectionResult",
             "ConnectionService",
@@ -560,6 +561,8 @@ class TestPackaging:
             "Guarantee",
             "ParallelExecutor",
             "Provenance",
+            "SchemaDelta",
+            "SchemaEditor",
             "ServiceConfig",
             "WorkloadSpec",
             "run_workload",
@@ -576,3 +579,150 @@ class TestPackaging:
     def test_result_is_a_connection_result(self):
         service = ConnectionService(schema=path_graph())
         assert isinstance(service.connect(["A"]), ConnectionResult)
+
+
+class TestSchemaIdentityHardening:
+    """Regression: repr collisions must never let two schemas share a context.
+
+    ``schema_fingerprint``/``schema_digest`` used to key vertices by bare
+    ``repr`` (and claimed the key was collision-free): two structurally
+    different schemas whose vertex objects print identically -- e.g. a
+    vertex class with a constant ``__repr__`` -- hashed to the same
+    fingerprint, shared one cached ``SchemaContext``, and the second
+    schema got the first schema's trees back.
+    """
+
+    @staticmethod
+    def _constant_repr_schema(direct: bool):
+        """Two schemas with identical ``(|V|, |A|, reprs)`` but different wiring.
+
+        Same five constant-repr vertices, same four edges by count -- so
+        even the old count-guarded fingerprint collapsed them -- but ``a``
+        and ``c`` are 2 apart in one wiring and 4 apart in the other.
+        """
+
+        class Concept:
+            def __init__(self, name):
+                self.name = name
+
+            def __repr__(self):
+                return "<concept>"  # deliberately non-injective
+
+        a, b, c = Concept("a"), Concept("b"), Concept("c")
+        hub, spare = Concept("hub"), Concept("spare")
+        graph = BipartiteGraph()
+        for vertex in (a, b, c):
+            graph.add_left(vertex)
+        for vertex in (hub, spare):
+            graph.add_right(vertex)
+        graph.add_edge(a, hub)
+        graph.add_edge(b, spare)
+        if direct:
+            graph.add_edge(c, hub)
+            graph.add_edge(b, hub)
+        else:
+            graph.add_edge(b, hub)
+            graph.add_edge(c, spare)
+        return graph, (a, c)
+
+    def test_colliding_schemas_do_not_share_a_cached_context(self):
+        service = ConnectionService()
+        first_graph, (a1, c1) = self._constant_repr_schema(direct=True)
+        second_graph, (a2, c2) = self._constant_repr_schema(direct=False)
+        first = service.connect([a1, c1], schema=first_graph)
+        second = service.connect([a2, c2], schema=second_graph)
+        # wired directly, a-hub-c connects in 3 vertices; in the second
+        # schema the connection must route a-hub-b-spare-c (5 vertices).
+        # Under the old repr-keyed fingerprint both schemas hashed alike,
+        # so the second call reused the first schema's context and
+        # returned a tree over edges the second schema does not even have
+        assert first.cost == 3
+        assert second.cost == 5
+        for result, graph in ((first, first_graph), (second, second_graph)):
+            tree = result.solution.tree
+            for u, v in tree.edges():
+                assert graph.has_edge(u, v)
+
+    def test_ambiguous_fingerprints_and_digests_never_collide(self):
+        from repro.engine.cache import schema_digest, schema_fingerprint
+
+        graph, _ = self._constant_repr_schema(direct=False)
+        assert schema_fingerprint(graph) != schema_fingerprint(graph)
+        assert schema_digest(graph) != schema_digest(graph)
+
+    def test_type_distinguishes_equal_reprs_without_ambiguity(self):
+        from repro.engine.cache import schema_fingerprint
+
+        class Left:
+            def __repr__(self):
+                return "X"
+
+        class Right:
+            def __repr__(self):
+                return "X"
+
+        # one vertex of each type: reprs collide across types but the
+        # (type, repr) tokens stay injective, so the fingerprint is
+        # structural and stable
+        graph = BipartiteGraph()
+        graph.add_left(Left())
+        graph.add_right(Right())
+        assert schema_fingerprint(graph) == schema_fingerprint(graph)
+
+    def test_ambiguous_schemas_do_not_pollute_the_context_lru(self):
+        service = ConnectionService()
+        graph = path_graph()
+        terminals = sorted(graph.vertices(), key=repr)[:2]
+        service.connect(terminals, schema=graph)
+        size_before = service.cache_stats()["size"]
+        # ambiguous fingerprints never repeat: inserting contexts under
+        # them could only evict the entries legitimate schemas rely on
+        for _ in range(3):
+            ambiguous, (a, c) = self._constant_repr_schema(direct=True)
+            service.connect([a, c], schema=ambiguous)
+        assert service.cache_stats()["size"] == size_before
+        # and the legitimate schema still hits
+        hits_before = service.cache_stats()["hits"]
+        service.connect(terminals, schema=graph.copy())
+        assert service.cache_stats()["hits"] == hits_before + 1
+
+    def test_unambiguous_schemas_keep_stable_keys_and_disk_digests(self):
+        from repro.engine.cache import schema_digest, schema_fingerprint
+
+        graph = path_graph()
+        assert schema_fingerprint(graph) == schema_fingerprint(graph.copy())
+        assert schema_digest(graph) == schema_digest(graph.copy())
+
+    def test_digest_is_injective_against_forged_section_markers(self):
+        # regression: the digest stream used bare 'v'/'\x1f' separators, so
+        # a repr embedding them could make a one-vertex graph hash like a
+        # two-vertex graph; length-prefixed blobs close that forgery
+        from repro.engine.cache import schema_digest
+        from repro.graphs import Graph
+
+        class V:
+            def __init__(self, r):
+                self._r = r
+
+            def __repr__(self):
+                return self._r
+
+        token_type = f"{V.__module__}.{V.__qualname__}"
+        forged = Graph(vertices=[V(f"Av{token_type}\x1fB")])
+        honest = Graph(vertices=[V("A"), V("B")])
+        assert schema_digest(forged) != schema_digest(honest)
+
+    def test_ambiguous_schema_still_answers_and_is_disk_safe(self, tmp_path):
+        graph, (a, c) = self._constant_repr_schema(direct=True)
+        service = ConnectionService(
+            schema=graph, config=ServiceConfig(cache_dir=str(tmp_path))
+        )
+        first = service.connect([a, c])
+        again = service.connect([a, c])
+        assert first.cost == again.cost == 3
+        # ambiguous digests are unique per call, so nothing stored under
+        # one could ever be replayed: the persistent layer must stay
+        # untouched instead of filling with write-only entries
+        assert first.provenance.result_cache is None
+        assert again.provenance.result_cache is None
+        assert not any(tmp_path.rglob("*.pkl"))

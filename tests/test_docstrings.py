@@ -1,12 +1,12 @@
 """Docstring coverage of the public API surface, enforced via ``ast``.
 
 CI runs ruff's pydocstyle rules (``D10x``, see ``pyproject.toml``) over
-``repro.api``, ``repro.engine.batch`` and ``repro.runtime``; this test
-enforces the same contract locally without needing ruff installed: every
-public module, class, function, method and property in those packages
-must carry a non-empty docstring.  ``_private`` names and dunders are
-exempt (matching the relaxed rule selection -- D105/D107 are not
-enabled).
+``repro.api``, ``repro.dynamic``, ``repro.engine.batch`` and
+``repro.runtime``; this test enforces the same contract locally without
+needing ruff installed: every public module, class, function, method and
+property in those packages must carry a non-empty docstring.
+``_private`` names and dunders are exempt (matching the relaxed rule
+selection -- D105/D107 are not enabled).
 """
 
 import ast
@@ -19,6 +19,7 @@ SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
 #: The enforced surface: every .py file in these packages / these modules.
 TARGETS = sorted(
     list((SRC / "api").glob("*.py"))
+    + list((SRC / "dynamic").glob("*.py"))
     + list((SRC / "runtime").glob("*.py"))
     + [SRC / "engine" / "batch.py"]
 )
@@ -55,4 +56,4 @@ def test_public_surface_is_documented(path):
 
 
 def test_target_list_is_nonempty():
-    assert len(TARGETS) >= 12  # api (6) + runtime (6) + engine/batch
+    assert len(TARGETS) >= 16  # api (6) + dynamic (4) + runtime (6) + engine/batch

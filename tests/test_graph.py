@@ -127,3 +127,56 @@ class TestDerivedGraphs:
     def test_edge_set(self):
         graph = Graph(edges=[("a", "b")])
         assert graph.edge_set() == {frozenset(("a", "b"))}
+
+
+class TestSubclassCopy:
+    """The base ``copy()`` must round-trip subclass state (regression).
+
+    Before the ``_copy_subclass_state_into`` hook, ``Graph.copy`` rebuilt
+    clones through ``Graph.__init__`` alone, silently dropping the state
+    of any subclass that forgot to override ``copy`` -- or crashing when
+    the subclass's mutators consulted that state.
+    """
+
+    def test_subclass_state_round_trips_through_base_copy(self):
+        class Labelled(Graph):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.labels = {}
+
+        graph = Labelled(edges=[("a", "b"), ("b", "c")])
+        graph.labels["a"] = "alpha"
+        clone = graph.copy()
+        assert type(clone) is Labelled
+        assert clone.labels == {"a": "alpha"}
+        # the copied state is independent (shallow per attribute)
+        clone.labels["b"] = "beta"
+        assert "b" not in graph.labels
+        assert clone.edge_set() == graph.edge_set()
+
+    def test_side_guarded_subclass_clones_through_base_copy(self):
+        # a BipartiteGraph-like subclass whose add_vertex *requires* the
+        # subclass state: the hook must install it before the structure
+        # is replayed, or the clone crashes
+        class Guarded(Graph):
+            def __init__(self, *args, **kwargs):
+                self.allowed = set()
+                super().__init__(*args, **kwargs)
+
+            def add_vertex(self, vertex):
+                self.allowed.add(vertex)
+                super().add_vertex(vertex)
+
+        graph = Guarded(edges=[(1, 2)])
+        clone = graph.copy()
+        assert clone.allowed == {1, 2}
+        assert clone == graph
+
+    def test_copy_starts_fresh_version_bookkeeping(self):
+        graph = Graph(edges=[("a", "b")])
+        graph.add_edge("b", "c")
+        clone = graph.copy()
+        v = clone.mutation_version
+        clone.add_edge("a", "c")  # both endpoints exist: exactly one bump
+        assert clone.mutation_version == v + 1
+        assert not graph.has_edge("a", "c")

@@ -167,3 +167,99 @@ def test_cli_rejects_broken_spec(tmp_path):
 
     proc = run_cli("run", str(tmp_path / "missing.json"))
     assert proc.returncode == 2
+
+
+# ----------------------------------------------------------------------
+# churn: spec plumbing and the mutation phases
+# ----------------------------------------------------------------------
+CHURN_SPEC = {
+    **TINY_SPEC,
+    "workers": 1,
+    "churn": {"edits": 6, "queries_per_edit": 2, "terminals": 3, "seed": 5},
+}
+
+
+def test_churn_spec_round_trips_and_validates():
+    spec = WorkloadSpec.from_dict(CHURN_SPEC)
+    assert spec.churn is not None and spec.churn.edits == 6
+    assert WorkloadSpec.from_dict(spec.to_dict()) == spec
+    for broken in (
+        {**CHURN_SPEC, "churn": {"edits": 0}},
+        {**CHURN_SPEC, "churn": {"edits": 2, "kinds": ["explode"]}},
+        {**CHURN_SPEC, "churn": {"edits": 2, "kinds": []}},
+        {**CHURN_SPEC, "churn": {"edits": 2, "surprise": 1}},
+        {**CHURN_SPEC, "churn": "lots"},
+    ):
+        with pytest.raises(ValidationError):
+            WorkloadSpec.from_dict(broken)
+
+
+def test_churn_phases_verify_against_the_oracle():
+    report = run_workload(
+        WorkloadSpec.from_dict(CHURN_SPEC), include_cold=False
+    )
+    names = [phase.name for phase in report.phases]
+    assert names == ["serial-warm", "churn-incremental", "churn-oracle"]
+    groups = {phase.name: phase.group for phase in report.phases}
+    assert groups["serial-warm"] == "main"
+    assert groups["churn-incremental"] == groups["churn-oracle"] == "churn"
+    # the churn phases answered mutated schemas: same checksum as each
+    # other (that is the oracle contract), different from the main group
+    incremental = report.phase("churn-incremental")
+    oracle = report.phase("churn-oracle")
+    assert incremental.checksum == oracle.checksum
+    assert incremental.checksum != report.checksum
+    assert incremental.queries == oracle.queries == 12
+    assert report.checksums_consistent
+    assert report.churn_speedup is not None
+    parsed = json.loads(report.to_json())
+    assert parsed["churn_speedup"] == report.churn_speedup
+    assert {p["group"] for p in parsed["phases"]} == {"main", "churn"}
+
+
+def test_churn_without_verify_runs_one_phase():
+    spec = WorkloadSpec.from_dict(
+        {**CHURN_SPEC, "churn": {**CHURN_SPEC["churn"], "verify": False}}
+    )
+    report = run_workload(spec, include_cold=False)
+    assert [phase.name for phase in report.phases] == [
+        "serial-warm", "churn-incremental",
+    ]
+    assert report.churn_speedup is None
+    assert report.checksums_consistent
+
+
+def test_cli_runs_churn_spec_end_to_end(tmp_path):
+    spec_path = tmp_path / "churn.json"
+    spec_path.write_text(json.dumps(CHURN_SPEC))
+    proc = run_cli("run", str(spec_path), "--no-cold")
+    assert proc.returncode == 0, proc.stderr
+    assert "churn-incremental" in proc.stdout
+    assert "churn-oracle" in proc.stdout
+    assert "churn speedup" in proc.stdout
+    assert "CONSISTENT" in proc.stdout
+
+
+def test_cli_spec_template_includes_a_churn_mix():
+    proc = run_cli("spec-template")
+    spec = WorkloadSpec.from_json(proc.stdout)
+    assert spec.churn is not None
+    assert spec.churn.verify is False  # the 515-vertex oracle is opt-in
+
+
+def test_churn_never_mutates_outside_the_allowlist():
+    import itertools
+    import random
+
+    from repro.graphs import BipartiteGraph
+    from repro.runtime.workload import _churn_step
+
+    graph = BipartiteGraph(left=["a"], right=[1], edges=[("a", 1)])
+    rng = random.Random(0)
+    fresh = itertools.count(1)
+    assert _churn_step(graph, rng, ("drop-edge",), fresh) == "drop-edge"
+    # no edges left: a pure-deletion allowlist must fail loudly instead
+    # of silently growing the schema with an excluded mutation kind
+    with pytest.raises(ValidationError, match="no churn kind"):
+        _churn_step(graph, rng, ("drop-edge",), fresh)
+    assert graph.vertices() == {"a", 1}  # nothing grew

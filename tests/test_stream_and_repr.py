@@ -159,3 +159,71 @@ def test_disk_replay_shows_in_repr(tmp_path):
     service.connect(query)
     replay = service.connect(query)
     assert "result_cache='disk'" in repr(replay)
+
+
+# ----------------------------------------------------------------------
+# degenerate terminal sets: explicit ValidationErrors, pinned trivial cases
+# ----------------------------------------------------------------------
+def test_stream_rejects_empty_terminal_set_eagerly():
+    service = ConnectionService(schema=tiny_graph())
+    with pytest.raises(ValidationError, match="non-empty"):
+        service.enumerate([])
+
+
+def test_stream_rejects_unknown_terminals_eagerly():
+    service = ConnectionService(schema=tiny_graph())
+    with pytest.raises(ValidationError, match="not vertices"):
+        service.enumerate(["a", "ghost"])
+
+
+def test_stream_on_a_single_terminal_is_valid_and_ranked():
+    service = ConnectionService(schema=tiny_graph())
+    stream = service.enumerate(["a"], budget=3)
+    results = stream.take(3)
+    assert [r.rank for r in results] == [1, 2, 3]
+    assert results[0].tree.vertices() == {"a"}
+    assert results[0].guarantee.value == "optimal"
+    # later results are strictly valid (connected supersets), non-optimal
+    assert all(r.cost >= 1 for r in results[1:])
+    assert all(r.guarantee.value == "heuristic" for r in results[1:])
+
+
+def test_generator_guard_raises_validation_error_not_pep479():
+    # defense in depth: even the raw generator refuses an empty terminal
+    # set with a library error instead of tripping PEP 479
+    from repro.api.stream import _connection_solutions
+    from repro.steiner.problem import SteinerInstance
+
+    graph = tiny_graph()
+    instance = SteinerInstance(graph, ["a"])
+    object.__setattr__(instance, "terminals", frozenset())
+    with pytest.raises(ValidationError, match="non-empty"):
+        next(_connection_solutions(graph, instance, None))
+
+
+def test_connect_and_batch_reject_degenerate_terminals():
+    service = ConnectionService(schema=tiny_graph())
+    with pytest.raises(ValidationError, match="non-empty"):
+        service.connect([])
+    with pytest.raises(ValidationError, match="not vertices"):
+        service.connect(["ghost"])
+    with pytest.raises(ValidationError, match="non-empty"):
+        service.batch([["a", "b"], []])
+    with pytest.raises(ValidationError, match="not vertices"):
+        service.batch([["a", "b"], ["a", "ghost"]])
+    # single terminals stay valid through every entry point
+    assert service.connect(["a"]).cost == 1
+
+
+def test_parallel_executor_rejects_degenerate_terminals():
+    from repro.runtime import ParallelExecutor
+
+    graph = tiny_graph()
+    queries = [["a", "b"]] * 4
+    with ParallelExecutor(workers=2, schema=graph) as executor:
+        with pytest.raises(ValidationError, match="non-empty"):
+            executor.batch(queries + [[]])
+        with pytest.raises(ValidationError, match="not vertices"):
+            executor.batch(queries + [["ghost", "a"]])
+        singles = executor.batch([["a"]] * 3 + queries)
+        assert [r.cost for r in singles[:3]] == [1, 1, 1]
