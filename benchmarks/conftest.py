@@ -1,16 +1,43 @@
 """Shared helpers for the benchmark harnesses.
 
 Every benchmark module regenerates the quantitative evidence for one
-experiment family of ``DESIGN.md`` (E1-E17) and records the headline
-numbers in ``benchmark.extra_info`` so they appear in the pytest-benchmark
-report; the prose interpretation lives in ``EXPERIMENTS.md``.
+experiment family of ``DESIGN.md`` (E1-E17, RT*, DY*, KN*) and records
+the headline numbers through :func:`record`, which feeds two sinks:
+
+* ``benchmark.extra_info`` -- so the numbers appear in the
+  pytest-benchmark report;
+* the **benchmark trajectory file** ``BENCH_results.json`` at the repo
+  root -- one JSON document per benchmark session, one entry per
+  recorded case (test name, instance size ``n``, wall-clock
+  milliseconds, speedup vs the case's baseline, plus the raw recorded
+  info).  CI uploads the file as an artifact, so the perf trajectory of
+  the asserted cases is tracked across PRs instead of living only in
+  ephemeral logs.
+
+Conventions for the normalised fields: pass ``vertices=...`` (or
+``n=...``) for the instance size, ``speedup=...`` for the headline
+speedup, and either ``wall_seconds=...`` or any ``*_seconds`` values --
+the first ``*_seconds`` key (in recording order) becomes ``wall_ms``
+when no explicit ``wall_seconds`` is given.
 """
 
 from __future__ import annotations
 
+import json
 import random
+from pathlib import Path
 
 import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULTS_PATH = REPO_ROOT / "BENCH_results.json"
+
+#: Session-collected entries, written by :func:`pytest_sessionfinish`.
+_RESULTS = []
+
+#: The test currently running (set by the autouse fixture below) so
+#: :func:`record` can attribute entries without threading names around.
+_CURRENT = {"name": None}
 
 
 @pytest.fixture
@@ -19,7 +46,50 @@ def rng():
     return random.Random(19850325)  # PODS 1985
 
 
+@pytest.fixture(autouse=True)
+def _bench_case_name(request):
+    """Expose the running test's name to :func:`record`."""
+    _CURRENT["name"] = request.node.name
+    yield
+    _CURRENT["name"] = None
+
+
+def _normalise(info: dict) -> dict:
+    """Build the trajectory entry for one recorded case."""
+    entry = {
+        "name": _CURRENT["name"] or info.get("experiment", "unknown"),
+        "n": info.get("vertices", info.get("n")),
+        "wall_ms": None,
+        "speedup": info.get("speedup"),
+        "info": info,
+    }
+    wall = info.get("wall_seconds")
+    if wall is None:
+        for key, value in info.items():
+            if key.endswith("_seconds") and isinstance(value, (int, float)):
+                wall = value
+                break
+    if wall is not None:
+        entry["wall_ms"] = round(float(wall) * 1000.0, 3)
+    return entry
+
+
 def record(benchmark, **info):
-    """Attach experiment metadata to a benchmark result."""
+    """Attach experiment metadata to a benchmark result and the trajectory."""
     for key, value in info.items():
         benchmark.extra_info[key] = value
+    _RESULTS.append(_normalise(info))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write ``BENCH_results.json`` when this session recorded anything."""
+    if not _RESULTS:
+        return
+    document = {
+        "format": 1,
+        "cases": _RESULTS,
+    }
+    RESULTS_PATH.write_text(
+        json.dumps(document, indent=2, sort_keys=False, default=repr) + "\n",
+        encoding="utf-8",
+    )

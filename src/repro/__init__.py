@@ -36,7 +36,12 @@ The package provides:
   journals), and ``SchemaContext.apply_delta`` patches cached schema
   contexts blockwise instead of re-running the Theorem 1 recognition --
   schema churn as a first-class workload (the ``churn`` phase of
-  ``python -m repro run``).
+  ``python -m repro run``),
+* the kernel layer (``repro.kernels``): batched BFS kernels over the
+  CSR backend, the cross-query ``DistanceOracle`` attached to every
+  schema context (component-granular invalidation under edits), and
+  the zero-copy shared-memory transport the parallel runtime dispatches
+  shards with (see ``docs/performance.md``).
 
 The most common entry points are re-exported here; see ``README.md`` for a
 guided tour and the ``docs/`` site for the architecture, scenario and
@@ -85,6 +90,7 @@ from repro.exceptions import (
 )
 from repro.dynamic import BlockClassifier, EditOp, SchemaDelta, SchemaEditor
 from repro.engine import InterpretationEngine, batch_interpret, schema_digest
+from repro.kernels import DistanceOracle, grouped_bfs_levels, grouped_bfs_parents
 from repro.graphs import (
     BipartiteGraph,
     Graph,
@@ -125,7 +131,7 @@ from repro.steiner import (
     steiner_tree_dreyfus_wagner,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "BipartiteGraph",
@@ -138,6 +144,7 @@ __all__ = [
     "Database",
     "DisconnectedTerminalsError",
     "DiskCache",
+    "DistanceOracle",
     "ERSchema",
     "EditOp",
     "EnumerationStream",
@@ -170,6 +177,8 @@ __all__ = [
     "chordality_class",
     "classify_bipartite_graph",
     "from_indexed",
+    "grouped_bfs_levels",
+    "grouped_bfs_parents",
     "is_41_chordal_bipartite",
     "is_61_chordal_bipartite",
     "is_62_chordal_bipartite",

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set
 
+from repro.exceptions import GraphError
 from repro.graphs.backend import is_indexed
 from repro.graphs.graph import Graph, Vertex
 from repro.graphs.indexed import IndexedGraph, iter_bits
@@ -21,6 +22,12 @@ from repro.utils.ordering import is_permutation_of
 
 def is_simplicial(graph: Graph, vertex: Vertex) -> bool:
     """Return ``True`` when the neighbourhood of ``vertex`` is a clique."""
+    if is_indexed(graph):
+        # the cached CSR row spares the fresh neighbour-set allocation
+        # (is_clique only iterates its argument)
+        if not graph.has_vertex(vertex):
+            raise GraphError(f"vertex {vertex!r} is not in the graph")
+        return graph.is_clique(graph.row(vertex))
     return graph.is_clique(graph.neighbors(vertex))
 
 

@@ -217,29 +217,85 @@ class InterpretationEngine:
         """Answer many queries over one schema, amortising precomputation.
 
         The schema is classified and indexed once (or fetched from the
-        LRU); each query then pays only its solver's inner loop.  Results
-        are returned in query order.
+        LRU), the batch's queries are planned up front and grouped by the
+        BFS sources their solvers will need -- one
+        :class:`~repro.kernels.oracle.DistanceOracle` fill then serves
+        every query sharing a terminal -- and each query pays only its
+        solver's inner loop.  Results are returned in query order.
         """
         context = self.context_for(schema)
+        queries = [list(query) for query in queries]  # both phases iterate
+        plans = self._plan_batch(context, queries, objective, side)
         results: List[SteinerSolution] = []
-        for query in queries:
-            query = list(query)  # planning and solving both iterate
-            results.append(
-                self.execute_plan(
+        for position, query in enumerate(queries):
+            plan = plans[position]
+            if plan is None:
+                # deferred so the error surfaces at this query's position,
+                # matching the sequential contract
+                plan = plan_query(
                     context,
-                    plan_query(
-                        context,
-                        query,
-                        objective=objective,
-                        side=side,
-                        exact_terminal_limit=self._exact_terminal_limit,
-                        exact_vertex_limit=self._exact_vertex_limit,
-                    ),
                     query,
-                    side,
+                    objective=objective,
+                    side=side,
+                    exact_terminal_limit=self._exact_terminal_limit,
+                    exact_vertex_limit=self._exact_vertex_limit,
                 )
-            )
+            results.append(self.execute_plan(context, plan, query, side))
         return results
+
+    def _plan_batch(
+        self, context: SchemaContext, queries: List[List], objective: str, side: int
+    ) -> List[Optional[QueryPlan]]:
+        """Pre-plan a batch and prefill the distance oracle it will hit.
+
+        Strictly best-effort: a query whose planning fails gets ``None``
+        (re-planned -- and re-raised -- in sequence position by the
+        caller), and the grouped prefill skips anything it cannot encode.
+        Grouping means deduplication: the chordal-elimination solver
+        reads one parent row per *distinct* root terminal and the KMB
+        closure one distance row per *distinct* terminal, so overlapping
+        terminal sets across the batch collapse to single BFS fills.
+        """
+        plans: List[Optional[QueryPlan]] = []
+        parent_roots = set()
+        level_sources = set()
+        for query in queries:
+            try:
+                plan = plan_query(
+                    context,
+                    query,
+                    objective=objective,
+                    side=side,
+                    exact_terminal_limit=self._exact_terminal_limit,
+                    exact_vertex_limit=self._exact_vertex_limit,
+                )
+            except Exception:
+                plans.append(None)
+                continue
+            plans.append(plan)
+            try:
+                ids = context.index.encode(set(query))
+            except Exception:
+                continue
+            if not ids:
+                continue
+            # prefill for the *primary* solver only: a fallback rarely
+            # runs, and paying k dense BFS rows for it up front would
+            # waste traversals (and LRU slots) on the common path
+            if plan.solver == "chordal-elimination":
+                parent_roots.add(min(ids))
+            elif plan.solver == "kmb":
+                level_sources.update(ids)
+        oracle = context.distance_oracle
+        # cap the prefill at the oracle's capacity: filling more rows
+        # than the LRU holds would evict them before their query runs,
+        # paying every BFS twice (roots first -- parent rows are the
+        # common chordal-schema case)
+        budget = oracle.maxsize
+        roots = sorted(parent_roots)[:budget]
+        oracle.ensure(roots, parents=True)
+        oracle.ensure(sorted(level_sources)[: max(0, budget - len(roots))])
+        return plans
 
 
 def default_engine() -> InterpretationEngine:

@@ -43,6 +43,8 @@ from repro.core.classification import ChordalityReport, classify_bipartite_graph
 from repro.graphs.bipartite import BipartiteGraph
 from repro.graphs.graph import Graph, Vertex
 from repro.graphs.indexed import GraphIndex, IndexedGraph, from_indexed, to_indexed
+from repro.kernels.bfs import levels_to_dict
+from repro.kernels.oracle import DistanceOracle, OracleStats
 
 
 class LRUCache:
@@ -270,7 +272,12 @@ def _new_block_classifier():
 class SchemaContext:
     """All schema-level precomputations the engine reuses across queries."""
 
-    def __init__(self, graph: BipartiteGraph, report: Optional[ChordalityReport] = None) -> None:
+    def __init__(
+        self,
+        graph: BipartiteGraph,
+        report: Optional[ChordalityReport] = None,
+        oracle_stats: Optional[OracleStats] = None,
+    ) -> None:
         # defensive copy: the context outlives the call that built it (LRU),
         # so it must not alias a graph the caller may mutate afterwards --
         # otherwise a later structurally-equal lookup would get answers
@@ -288,6 +295,11 @@ class SchemaContext:
         # pay Theorem 1 recognition again; does no work until a delta is
         # actually applied
         self._blocks = _new_block_classifier()
+        # the cross-query distance oracle is lazy (first BFS builds it);
+        # the counters are shared with the owning SchemaCache when there
+        # is one, so they survive eviction and apply_delta re-derivation
+        self._oracle: Optional[DistanceOracle] = None
+        self._oracle_stats = oracle_stats
 
     # ------------------------------------------------------------------
     # shard transport (parallel workers)
@@ -328,6 +340,8 @@ class SchemaContext:
         context._side_plans = {}
         context._components = None
         context._blocks = _new_block_classifier()
+        context._oracle = None
+        context._oracle_stats = None
         return context
 
     # ------------------------------------------------------------------
@@ -378,11 +392,30 @@ class SchemaContext:
         delta.apply_to(new_graph)
         context = SchemaContext.__new__(SchemaContext)
         context.graph = new_graph
+        context._oracle_stats = self._oracle_stats
+        context._oracle = None
         if delta.added_vertices or delta.removed_vertices:
             context.indexed, context.index = to_indexed(new_graph)
+            # vertex churn re-keys every id: nothing the old oracle holds
+            # is addressable any more, so the whole row set is lost
+            if self._oracle is not None:
+                self._oracle.stats.invalidated += self._oracle.rows_cached()
         else:
             context.index = self.index
             context.indexed = _patch_indexed(self.indexed, self.index, delta)
+            if self._oracle is not None:
+                # component-granular invalidation: an edge edit lives in
+                # one biconnected block, so only rows rooted in that
+                # block's connected component can have moved -- every
+                # other cached row transfers to the patched context
+                ids = self.index.ids
+                touched = [
+                    ids[vertex]
+                    for edge in (*delta.added_edges, *delta.removed_edges)
+                    for vertex in edge
+                    if vertex in ids
+                ]
+                context._oracle = self._oracle.inherit(context.indexed, touched)
         context._blocks = self._blocks
         context._report = self._blocks.classify(new_graph)
         context._bfs_rows = LRUCache(maxsize=4096)
@@ -393,18 +426,45 @@ class SchemaContext:
     # ------------------------------------------------------------------
     # distances
     # ------------------------------------------------------------------
+    @property
+    def distance_oracle(self) -> DistanceOracle:
+        """The context's cross-query :class:`~repro.kernels.oracle.DistanceOracle`.
+
+        Built on first access; every BFS a solver needs on this schema
+        version flows through it, so repeated terminals across a batch
+        (or across batches) never pay a second traversal.  The counters
+        are shared with the owning :class:`SchemaCache` when the context
+        was built by one.
+        """
+        if self._oracle is None:
+            if self._oracle_stats is None:
+                self._oracle_stats = OracleStats()
+            self._oracle = DistanceOracle(self.indexed, stats=self._oracle_stats)
+        return self._oracle
+
+    def adopt_oracle_stats(self, stats: OracleStats) -> None:
+        """Re-home this context's oracle counters onto a cache's shared stats.
+
+        Called by :meth:`SchemaCache.adopt` so contexts rebuilt elsewhere
+        (pool workers, ``apply_delta`` chains started before adoption)
+        count into the adopting engine's ``cache_stats()``.
+        """
+        self._oracle_stats = stats
+        if self._oracle is not None:
+            self._oracle.stats = stats
+
     def bfs_row(self, source: Vertex) -> Dict[Vertex, int]:
         """Return cached BFS distances ``{vertex: distance}`` from ``source``.
 
-        Rows are computed on the indexed backend and decoded once; the KMB
-        metric closure and feasibility checks share them across queries.
+        Rows come from the :attr:`distance_oracle` and are decoded to the
+        label mapping once; the KMB metric closure and feasibility checks
+        share them across queries.
         """
         row = self._bfs_rows.get(source)
         if row is None:
             source_id = self.index.ids[source]
-            levels = self.indexed.bfs_levels(source_id)
-            labels = self.index.labels
-            row = {labels[i]: d for i, d in enumerate(levels) if d >= 0}
+            levels = self.distance_oracle.levels(source_id)
+            row = levels_to_dict(levels, self.index.labels)
             self._bfs_rows.put(source, row)
         return row
 
@@ -488,6 +548,10 @@ class SchemaCache:
     def __init__(self, maxsize: int = 16) -> None:
         self._contexts = LRUCache(maxsize=maxsize)
         self.rebind_fallbacks = 0
+        # one shared counter object for every context's distance oracle,
+        # so cache_stats() reports engine-wide oracle behaviour even
+        # across evictions and apply_delta chains
+        self.oracle_stats = OracleStats()
 
     def lookup(
         self,
@@ -510,7 +574,9 @@ class SchemaCache:
         if context is None:
             if report is None and report_factory is not None:
                 report = report_factory()
-            context = SchemaContext(graph, report=report)
+            context = SchemaContext(
+                graph, report=report, oracle_stats=self.oracle_stats
+            )
             if not fingerprint_is_ambiguous(key):
                 # an ambiguous key can never be looked up again; caching
                 # under it would only evict contexts that can
@@ -537,6 +603,7 @@ class SchemaCache:
         """
         key = schema_fingerprint(context.graph)
         if not fingerprint_is_ambiguous(key):
+            context.adopt_oracle_stats(self.oracle_stats)
             self._contexts.put(key, context)
 
     def count_external_hit(self) -> None:
@@ -577,6 +644,7 @@ class SchemaCache:
             "size": len(self._contexts),
             "maxsize": self._contexts.maxsize,
             "rebind_fallbacks": self.rebind_fallbacks,
+            "distance_oracle": self.oracle_stats.as_dict(),
         }
 
     def __len__(self) -> int:

@@ -124,7 +124,11 @@ def solve_chordal_elimination(context: SchemaContext, terminals: Iterable[Vertex
     terminal_ids = sorted(context.index.encode(instance.terminals))
     indexed = context.indexed
     root = terminal_ids[0]
-    parents = indexed.bfs_parents(root)
+    # the oracle caches the parent row per root across queries: a batch
+    # whose terminal sets overlap pays one BFS per distinct root, not one
+    # per query (the rows carry bfs_parents' exact tie-break semantics,
+    # so the seeded covers -- and the returned trees -- are unchanged)
+    parents = context.distance_oracle.parents(root)
     if any(parents[t] < 0 for t in terminal_ids):
         raise DisconnectedTerminalsError(
             "the terminals do not lie in a single connected component"

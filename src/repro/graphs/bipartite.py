@@ -180,15 +180,25 @@ class BipartiteGraph(Graph):
     # derived graphs
     # ------------------------------------------------------------------
     def subgraph(self, vertices: Iterable[Vertex]) -> "BipartiteGraph":
-        """Return the induced subgraph, preserving the bipartition labels."""
-        keep = {v for v in vertices if v in self}
+        """Return the induced subgraph, preserving the bipartition labels.
+
+        Runs in time proportional to the kept vertices' degrees, not to
+        the whole edge set -- the engine's solvers induce many small
+        covers per batch, and a full edge scan per cover was the single
+        hottest line of the warm query path.
+        """
+        adjacency = self._adjacency
+        keep = {v for v in vertices if v in adjacency}
         induced = BipartiteGraph(
             left={v for v in keep if self._side[v] == 1},
             right={v for v in keep if self._side[v] == 2},
         )
-        for u, v in self.edges():
-            if u in keep and v in keep:
-                induced.add_edge(u, v)
+        for u in keep:
+            for v in adjacency[u]:
+                if v in keep:
+                    # add_edge is idempotent, so seeing {u, v} from both
+                    # endpoints is harmless
+                    induced.add_edge(u, v)
         return induced
 
     def swap_sides(self) -> "BipartiteGraph":

@@ -339,6 +339,56 @@ class IndexedGraph:
         return self
 
     # ------------------------------------------------------------------
+    # CSR adoption (worker transport, zero-copy attach)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_csr(
+        cls,
+        n: int,
+        indptr,
+        indices,
+        sides=None,
+    ) -> "IndexedGraph":
+        """Build a graph directly from CSR arrays, without an edge pass.
+
+        ``indptr``/``indices`` (and optionally ``sides``) may be
+        ``array`` objects, ``memoryview`` casts over a shared-memory
+        buffer (the zero-copy transport of :mod:`repro.kernels.shm`), or
+        any integer sequences; they are adopted as-is -- only the derived
+        bitset rows and the per-vertex row cache are materialised, which
+        is the same linear pass unpickling pays.  The arrays must
+        describe a symmetric simple adjacency (both directions present);
+        this is guaranteed for arrays read back from another
+        :class:`IndexedGraph` and is not re-validated here.
+        """
+        graph = cls.__new__(cls)
+        graph.n = n
+        graph.indptr = indptr
+        graph.indices = indices
+        graph.sides = sides
+        graph._derive_from_csr()
+        return graph
+
+    def _derive_from_csr(self) -> None:
+        """(Re)build the bitset rows, row cache and edge count from CSR."""
+        indptr, indices = self.indptr, self.indices
+        bits = [0] * self.n
+        rows: List[List[int]] = []
+        edge_count = 0
+        for u in range(self.n):
+            row = list(indices[indptr[u]: indptr[u + 1]])
+            rows.append(row)
+            mask = 0
+            for v in row:
+                mask |= 1 << v
+                if v > u:
+                    edge_count += 1
+            bits[u] = mask
+        self.bits = bits
+        self._rows = rows
+        self._edge_count = edge_count
+
+    # ------------------------------------------------------------------
     # pickling (worker transport)
     # ------------------------------------------------------------------
     def __getstate__(self) -> dict:
@@ -347,11 +397,14 @@ class IndexedGraph:
         # whose pickled size would dwarf the CSR payload, and rebuilding
         # them from CSR is linear -- this is what makes shipping schemas
         # to pool workers cheap
+        # a graph adopted from shared memory (from_csr over memoryviews)
+        # re-materialises plain arrays: views into another process's
+        # segment are not picklable and must not outlive it anyway
         return {
             "n": self.n,
-            "indptr": self.indptr,
-            "indices": self.indices,
-            "sides": self.sides,
+            "indptr": self.indptr if isinstance(self.indptr, array) else array("q", self.indptr),
+            "indices": self.indices if isinstance(self.indices, array) else array("q", self.indices),
+            "sides": self.sides if self.sides is None or isinstance(self.sides, array) else array("b", self.sides),
         }
 
     def __setstate__(self, state: dict) -> None:
@@ -359,20 +412,7 @@ class IndexedGraph:
         self.indptr = state["indptr"]
         self.indices = state["indices"]
         self.sides = state["sides"]
-        indptr, indices = self.indptr, self.indices
-        bits = [0] * self.n
-        rows: List[List[int]] = []
-        edge_count = 0
-        for u in range(self.n):
-            row = list(indices[indptr[u]: indptr[u + 1]])
-            rows.append(row)
-            for v in row:
-                bits[u] |= 1 << v
-                if v > u:
-                    edge_count += 1
-        self.bits = bits
-        self._rows = rows
-        self._edge_count = edge_count
+        self._derive_from_csr()
 
     # ------------------------------------------------------------------
     # dunder protocol

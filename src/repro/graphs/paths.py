@@ -31,7 +31,12 @@ def shortest_path(graph: Graph, source: Vertex, target: Vertex) -> Optional[List
     if source == target:
         return [source]
     if is_indexed(graph):
-        parents = graph.bfs_parents(source)
+        # the kernel row is value-identical to IndexedGraph.bfs_parents
+        # (same discovery-order tie-breaks); routed through repro.kernels
+        # so every indexed parent BFS shares one implementation
+        from repro.kernels.bfs import bfs_parents_row
+
+        parents = bfs_parents_row(graph, source)
         if parents[target] < 0:
             return None
         walk = [target]

@@ -1,0 +1,49 @@
+"""``repro.kernels``: batched BFS kernels, the distance oracle, zero-copy transport.
+
+The kernel layer sits between the graph substrate and the engine.  It
+owns the three mechanisms that make heavy multi-query traffic cheap:
+
+* :mod:`repro.kernels.bfs` -- level-synchronous single- and multi-source
+  BFS kernels over :class:`~repro.graphs.indexed.IndexedGraph` CSR rows,
+  producing flat ``array('i')`` distance/parent rows from reusable
+  scratch buffers;
+* :mod:`repro.kernels.oracle` -- :class:`DistanceOracle`, the
+  cross-query LRU of those rows attached to every
+  :class:`~repro.engine.cache.SchemaContext`, with component-granular
+  invalidation wired into ``apply_delta``;
+* :mod:`repro.kernels.shm` -- the shared-memory CSR transport the
+  parallel runtime uses to hand schemas to pool workers without
+  per-dispatch pickling.
+
+See ``docs/performance.md`` for the design rationale and the measured
+numbers.
+"""
+
+from repro.kernels.bfs import (
+    KernelScratch,
+    bfs_levels_row,
+    bfs_parents_row,
+    grouped_bfs_levels,
+    grouped_bfs_parents,
+    levels_to_dict,
+)
+from repro.kernels.oracle import DistanceOracle, OracleStats
+from repro.kernels.shm import (
+    attach_segment,
+    create_segment,
+    shared_memory_available,
+)
+
+__all__ = [
+    "KernelScratch",
+    "bfs_levels_row",
+    "bfs_parents_row",
+    "grouped_bfs_levels",
+    "grouped_bfs_parents",
+    "levels_to_dict",
+    "DistanceOracle",
+    "OracleStats",
+    "attach_segment",
+    "create_segment",
+    "shared_memory_available",
+]

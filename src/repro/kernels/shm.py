@@ -1,0 +1,175 @@
+"""Zero-copy schema transport over ``multiprocessing.shared_memory``.
+
+The parallel runtime used to ship a pickled ``(IndexedGraph, GraphIndex,
+report)`` blob *inside every shard submission*: cheap once, pure overhead
+for every subsequent dispatch to an already-warm worker, and a full
+unpickle-and-rebuild for every cold one.  This module replaces the blob
+with one named shared-memory segment per schema version:
+
+* the parent writes the CSR arrays (``indptr`` / ``indices`` / ``sides``)
+  as raw bytes, followed by a small pickled sidecar carrying the label
+  tuple and the classification report (both are hashable-object data that
+  cannot live in shared memory unserialised);
+* each shard submission then carries only the segment *name* -- a
+  constant-size payload no matter how large the schema is;
+* a cold worker attaches the segment and builds its
+  :class:`~repro.graphs.indexed.IndexedGraph` through
+  :meth:`~repro.graphs.indexed.IndexedGraph.from_csr` over zero-copy
+  ``memoryview`` casts of the segment buffer -- the big arrays are never
+  copied, the OS page cache shares them across every worker.
+
+Lifecycle: the parent owns the segments.
+:class:`~repro.runtime.parallel.ParallelExecutor` unlinks them when its
+transport is re-keyed (schema mutation) and on
+:meth:`~repro.runtime.parallel.ParallelExecutor.close`, *after* the pool
+has drained -- crashed or errored workers cannot leak segments because
+they never own any.  Workers deliberately keep their mapping open for the
+life of the process (the attached views back live graph objects) and
+unregister the attachment from :mod:`multiprocessing.resource_tracker`,
+which would otherwise unlink the parent's segment when the first worker
+exits (the well-known CPython attach-side tracking bug).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+from array import array
+from typing import Optional, Sequence, Tuple
+
+from repro.graphs.indexed import GraphIndex, IndexedGraph
+
+try:  # pragma: no cover - import guard exercised only on exotic builds
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+#: Header: magic, n, indptr bytes, indices bytes, sides bytes (-1 = no
+#: bipartition), sidecar bytes.
+_HEADER = struct.Struct("<8sqqqqq")
+_MAGIC = b"RPROCSR1"
+
+
+def shared_memory_available() -> bool:
+    """Return ``True`` when the zero-copy transport can be used here.
+
+    Requires the :mod:`multiprocessing.shared_memory` module and POSIX
+    unlink semantics (the executor's lifecycle contract -- explicit
+    parent-side unlink -- is meaningless on Windows, where the pickle
+    transport is used instead).
+    """
+    return _shared_memory is not None and os.name == "posix"
+
+
+def _as_int64_bytes(values: Sequence[int]) -> bytes:
+    """Return the 8-byte little-endian raw form of an integer array."""
+    if isinstance(values, array) and values.itemsize == 8:
+        return values.tobytes()
+    return array("q", values).tobytes()
+
+
+def create_segment(
+    indexed: IndexedGraph, index: GraphIndex, report
+) -> "_shared_memory.SharedMemory":
+    """Write one schema's shard state into a fresh shared-memory segment.
+
+    The caller (the executor's transport memo) owns the returned handle
+    and is responsible for :meth:`~multiprocessing.shared_memory.SharedMemory.unlink`.
+    """
+    if _shared_memory is None:  # pragma: no cover - guarded by callers
+        raise RuntimeError("multiprocessing.shared_memory is unavailable")
+    indptr_bytes = _as_int64_bytes(indexed.indptr)
+    indices_bytes = _as_int64_bytes(indexed.indices)
+    sides_bytes = (
+        indexed.sides.tobytes() if indexed.sides is not None else None
+    )
+    sidecar = pickle.dumps(
+        (index.labels, report), protocol=pickle.HIGHEST_PROTOCOL
+    )
+    total = (
+        _HEADER.size
+        + len(indptr_bytes)
+        + len(indices_bytes)
+        + (len(sidecar))
+        + (len(sides_bytes) if sides_bytes is not None else 0)
+    )
+    segment = _shared_memory.SharedMemory(create=True, size=max(total, 1))
+    buffer = segment.buf
+    _HEADER.pack_into(
+        buffer,
+        0,
+        _MAGIC,
+        indexed.n,
+        len(indptr_bytes),
+        len(indices_bytes),
+        len(sides_bytes) if sides_bytes is not None else -1,
+        len(sidecar),
+    )
+    offset = _HEADER.size
+    for blob in (indptr_bytes, indices_bytes, sides_bytes or b"", sidecar):
+        buffer[offset: offset + len(blob)] = blob
+        offset += len(blob)
+    return segment
+
+
+def attach_segment(
+    name: str,
+) -> Tuple["_shared_memory.SharedMemory", IndexedGraph, GraphIndex, object]:
+    """Attach a segment and rebuild ``(shm, indexed, index, report)`` from it.
+
+    The returned :class:`IndexedGraph` holds zero-copy ``memoryview``
+    casts into the segment buffer for its CSR arrays, so the caller must
+    keep the returned ``shm`` handle alive for as long as the graph is --
+    the worker-side service cache does exactly that.
+    """
+    if _shared_memory is None:  # pragma: no cover - guarded by callers
+        raise RuntimeError("multiprocessing.shared_memory is unavailable")
+    segment = _shared_memory.SharedMemory(name=name)
+    _untrack_attachment(segment)
+    buffer = memoryview(segment.buf)
+    magic, n, indptr_len, indices_len, sides_len, sidecar_len = _HEADER.unpack_from(
+        buffer, 0
+    )
+    if magic != _MAGIC:
+        raise ValueError(f"segment {name!r} does not hold a CSR payload")
+    offset = _HEADER.size
+    indptr = buffer[offset: offset + indptr_len].cast("q")
+    offset += indptr_len
+    indices = buffer[offset: offset + indices_len].cast("q")
+    offset += indices_len
+    sides: Optional[memoryview] = None
+    if sides_len >= 0:
+        sides = buffer[offset: offset + sides_len].cast("b")
+        offset += sides_len
+    labels, report = pickle.loads(buffer[offset: offset + sidecar_len])
+    indexed = IndexedGraph.from_csr(n, indptr, indices, sides)
+    return segment, indexed, GraphIndex(labels), report
+
+
+def _untrack_attachment(segment) -> None:
+    """Stop the resource tracker from unlinking an attached (not owned) segment.
+
+    CPython's :mod:`multiprocessing.resource_tracker` registers POSIX
+    shared memory on *attach* as well as on create (bpo-39959).  What
+    that implies depends on how the worker was started:
+
+    * ``spawn``: the worker runs its *own* tracker, which would unlink
+      the parent's segment when the worker exits -- the attach-side
+      registration must be undone here;
+    * ``fork`` / ``forkserver``: the worker shares the parent's tracker
+      (one deduplicating name set), so the attach-side registration was
+      a no-op and unregistering would strip the *parent's* entry,
+      producing a tracker error when the parent later unlinks.
+
+    Best-effort either way: a failure here only means a harmless tracker
+    warning at shutdown.
+    """
+    try:  # pragma: no cover - depends on interpreter internals
+        import multiprocessing
+        from multiprocessing import resource_tracker
+
+        if multiprocessing.get_start_method(allow_none=True) == "spawn":
+            resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:  # pragma: no cover
+        pass

@@ -135,6 +135,14 @@ def _print_summary(report: WorkloadReport) -> None:
     )
     print(f"solvers   : {solvers}")
     print(f"guarantees: {guarantees}")
+    oracle = report.cache_stats.get("distance_oracle")
+    if oracle:
+        print(
+            "oracle    : "
+            f"hits={oracle.get('hits', 0)} misses={oracle.get('misses', 0)} "
+            f"evictions={oracle.get('evictions', 0)} "
+            f"invalidated={oracle.get('invalidated', 0)}"
+        )
     status = "CONSISTENT" if report.checksums_consistent else "MISMATCH"
     print(f"answers   : {status} (checksum {report.checksum[:16]}...)")
 

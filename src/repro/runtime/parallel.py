@@ -12,19 +12,31 @@ suite pins byte-identity).
 How a shard travels
 -------------------
 * The parent resolves the schema once and transports the context's
-  *shard state* -- the compact-pickling
-  :class:`~repro.graphs.indexed.IndexedGraph` backend, the label index
-  and the classification report
+  *shard state* -- the :class:`~repro.graphs.indexed.IndexedGraph` CSR
+  backend, the label index and the classification report
   (:meth:`~repro.engine.cache.SchemaContext.shard_state`).  Workers
   rebuild an equivalent context in milliseconds instead of re-running
   the Theorem 1 recognition (tens of seconds on large schemas).
+* On POSIX the default transport is **zero-copy shared memory**
+  (:mod:`repro.kernels.shm`): the CSR arrays live in one named segment
+  per schema version, workers attach ``memoryview`` casts over the
+  segment buffer, and each shard submission carries only the segment
+  name -- constant-size dispatch no matter how large the schema or how
+  many shards a batch produces.  ``transport="pickle"`` forces the
+  legacy per-submission pickled blob (the benchmark baseline);
+  ``transport="auto"`` (default) picks shared memory when available.
 * Transport is memoised per schema and keyed on
   :attr:`~repro.graphs.graph.Graph.mutation_version`: mutating the
-  schema between batches re-pickles and re-keys automatically, so a
-  worker can never answer from a stale structure.
+  schema between batches re-keys the transport (unlinking the stale
+  segment) automatically, so a worker can never answer from a stale
+  structure.
+* The parent owns every segment it created:
+  :meth:`ParallelExecutor.close` unlinks them all after the pool has
+  drained, so neither worker errors nor crashes can leak shared memory.
 * Workers keep a tiny LRU of rebuilt services keyed by ``(schema digest,
   config)``, so a long-lived pool answers alternating schemas without
-  rebuilding.
+  rebuilding -- and with shared memory, a warm worker never even reads
+  the transport payload again.
 * Results come back as schema-free payloads
   (:func:`~repro.runtime.codec.encode_result`) and are re-materialised
   against the parent's graph -- the schema is never pickled per answer.
@@ -53,11 +65,12 @@ from __future__ import annotations
 
 import os
 import pickle
+import weakref
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import replace
 from math import ceil
-from typing import Any, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.api.config import ServiceConfig
 from repro.api.request import ConnectionRequest
@@ -65,8 +78,32 @@ from repro.api.result import ConnectionResult
 from repro.api.service import ConnectionService
 from repro.engine.cache import SchemaContext, schema_digest
 from repro.exceptions import ValidationError
+from repro.kernels.shm import (
+    attach_segment,
+    create_segment,
+    shared_memory_available,
+)
 from repro.runtime.codec import decode_result, encode_result
 from repro.steiner.problem import SteinerSolution
+
+#: Transport payload: ``("shm", segment name)`` or ``("pickle", blob)``.
+TransportPayload = Tuple[str, Any]
+
+
+def _release_segments(segments: Dict[str, Any]) -> None:
+    """Unlink and close every parent-owned segment (idempotent, best-effort).
+
+    Module-level so a :func:`weakref.finalize` on the executor can call
+    it without keeping the executor alive; failures are swallowed because
+    double-unlinks (close + finalizer, or two close calls) are expected.
+    """
+    while segments:
+        _, segment = segments.popitem()
+        for release in (segment.unlink, segment.close):
+            try:
+                release()
+            except Exception:
+                pass
 
 
 class ParallelExecutor:
@@ -89,6 +126,12 @@ class ParallelExecutor:
     config / schema:
         Forwarded to the internally constructed service when ``service``
         is not given.
+    transport:
+        ``"auto"`` (default: shared memory where available, else
+        pickle), ``"shm"`` (force the zero-copy shared-memory CSR
+        transport) or ``"pickle"`` (force the per-submission pickled
+        blob).  Answers are byte-identical either way; only dispatch
+        cost differs.
 
     Examples
     --------
@@ -107,6 +150,7 @@ class ParallelExecutor:
         service: Optional[ConnectionService] = None,
         config: Optional[ServiceConfig] = None,
         schema: Any = None,
+        transport: str = "auto",
     ) -> None:
         if service is not None and (config is not None or schema is not None):
             raise ValidationError(
@@ -122,11 +166,30 @@ class ParallelExecutor:
             raise ValidationError("workers must be >= 1")
         if shard_size is not None and shard_size < 1:
             raise ValidationError("shard_size must be >= 1 (or None)")
+        if transport not in ("auto", "shm", "pickle"):
+            raise ValidationError(
+                f"transport must be 'auto', 'shm' or 'pickle', got {transport!r}"
+            )
+        if transport == "shm" and not shared_memory_available():
+            raise ValidationError(
+                "transport='shm' requires POSIX multiprocessing.shared_memory"
+            )
+        if transport == "auto":
+            transport = "shm" if shared_memory_available() else "pickle"
         self._workers = workers
         self._shard_size = shard_size
+        self._transport_kind = transport
         self._pool: Optional[ProcessPoolExecutor] = None
-        # (schema handle, mutation_version, digest, pickled shard state)
-        self._transport: Optional[Tuple[Any, Optional[int], str, bytes]] = None
+        # (schema handle, mutation_version, digest, transport payload)
+        self._transport: Optional[Tuple[Any, Optional[int], str, TransportPayload]] = None
+        # parent-owned shared-memory segments, by name; released on
+        # close(), on transport re-key, and -- as a last resort -- by the
+        # GC finalizer (so an executor dropped without close() cannot
+        # leak segments for the life of the machine)
+        self._segments: Dict[str, Any] = {}
+        self._segment_finalizer = weakref.finalize(
+            self, _release_segments, self._segments
+        )
 
     # ------------------------------------------------------------------
     # introspection / lifecycle
@@ -141,11 +204,30 @@ class ParallelExecutor:
         """The parent-side service this executor shards for."""
         return self._service
 
+    @property
+    def transport(self) -> str:
+        """The resolved transport kind (``"shm"`` or ``"pickle"``)."""
+        return self._transport_kind
+
+    def active_segments(self) -> Tuple[str, ...]:
+        """Return the names of the shared-memory segments currently owned."""
+        return tuple(self._segments)
+
     def close(self) -> None:
-        """Shut the worker pool down (idempotent; the executor stays usable)."""
+        """Shut the worker pool down and release the shared-memory segments.
+
+        Idempotent; the executor stays usable (the pool is recreated and
+        the transport re-derived lazily on the next batch).  Segments are
+        unlinked only *after* the pool has drained, so no in-flight shard
+        can lose its mapping -- and they are unlinked unconditionally,
+        including after worker errors or crashes (the parent owns them;
+        workers never do).
+        """
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        _release_segments(self._segments)
+        self._transport = None
 
     def __enter__(self) -> "ParallelExecutor":
         """Return ``self`` (the pool is created lazily on first use)."""
@@ -229,7 +311,7 @@ class ParallelExecutor:
             # is only needed when something actually dispatches -- a fully
             # replayed batch never builds either
             context, parent_hit = service._context(batch_schema, digest)
-            digest, state_blob = self._transport_for(
+            digest, payload = self._transport_for(
                 batch_schema, resolved, context, digest
             )
             shards = self._shard(pending)
@@ -239,7 +321,7 @@ class ParallelExecutor:
                 pool.submit(
                     _solve_shard,
                     digest,
-                    state_blob,
+                    payload,
                     worker_config,
                     [replace(request, schema=None) for _, request in shard],
                 )
@@ -281,32 +363,53 @@ class ParallelExecutor:
         resolved,
         context: SchemaContext,
         digest: Optional[str] = None,
-    ) -> Tuple[str, bytes]:
-        """Return ``(digest, pickled shard state)``, memoised per schema.
+    ) -> Tuple[str, TransportPayload]:
+        """Return ``(digest, transport payload)``, memoised per schema.
 
         The memo is keyed on the schema handle's identity plus its
         ``mutation_version`` (``None`` for the immutable Relational/ER
         handles): a structural mutation bumps the version, so the stale
-        transport -- and with it every worker-side context derived from it
-        -- is rebuilt before the next shard is dispatched.  A caller that
-        already computed the schema ``digest`` passes it in.
+        transport -- including its shared-memory segment, which is
+        unlinked on the spot -- is rebuilt before the next shard is
+        dispatched.  A caller that already computed the schema ``digest``
+        passes it in.
+
+        With the shared-memory transport the payload is just the segment
+        name; with the pickle transport it is the full shard-state blob,
+        re-shipped inside every submission.  An open
+        :class:`~repro.dynamic.editor.SchemaEditor` transaction holds the
+        version, so it cannot key the memo: mid-transaction dispatches
+        fall back to an unmemoised pickle payload built from the live
+        structure (a segment without a memo would have no owner slot).
         """
         version = getattr(schema, "mutation_version", None)
-        # an open SchemaEditor transaction holds the version, so it
-        # cannot key the memo: mid-transaction dispatches re-pickle from
-        # the live structure and leave the memo untouched
         held = getattr(schema, "_version_hold", False)
         memo = self._transport
         if not held and memo is not None and memo[0] is schema and memo[1] == version:
             return memo[2], memo[3]
         if digest is None:
             digest = schema_digest(resolved)
-        state_blob = pickle.dumps(
-            context.shard_state(), protocol=pickle.HIGHEST_PROTOCOL
-        )
+        if held or self._transport_kind == "pickle":
+            payload: TransportPayload = (
+                "pickle",
+                pickle.dumps(
+                    context.shard_state(), protocol=pickle.HIGHEST_PROTOCOL
+                ),
+            )
+        else:
+            indexed, index, report = context.shard_state()
+            segment = create_segment(indexed, index, report)
+            self._segments[segment.name] = segment
+            payload = ("shm", segment.name)
         if not held:
-            self._transport = (schema, version, digest, state_blob)
-        return digest, state_blob
+            if memo is not None and memo[3][0] == "shm":
+                # the stale version's segment: no future submission can
+                # name it, so reclaim it now rather than at close()
+                stale = self._segments.pop(memo[3][1], None)
+                if stale is not None:
+                    _release_segments({memo[3][1]: stale})
+            self._transport = (schema, version, digest, payload)
+        return digest, payload
 
     def _shard(self, pending: List) -> List[List]:
         size = self._shard_size
@@ -323,39 +426,57 @@ class ParallelExecutor:
 # ----------------------------------------------------------------------
 # worker side
 # ----------------------------------------------------------------------
-#: Per-process LRU of rebuilt services, keyed by (schema digest, config).
-_WORKER_SERVICES: "OrderedDict[Tuple[str, ServiceConfig], ConnectionService]" = (
+#: Per-process LRU of rebuilt services keyed by (schema digest, config);
+#: each entry also pins the attached SharedMemory handle (when the shard
+#: arrived over shared memory) because the service's graph holds
+#: zero-copy views into its buffer.
+_WORKER_SERVICES: "OrderedDict[Tuple[str, ServiceConfig], Tuple[ConnectionService, Any]]" = (
     OrderedDict()
 )
 _WORKER_SERVICE_LIMIT = 4
 
 
 def _worker_service(
-    digest: str, state_blob: bytes, config: ServiceConfig
+    digest: str, payload: TransportPayload, config: ServiceConfig
 ) -> ConnectionService:
-    """Return this worker's service for a schema, rebuilding it on first use."""
+    """Return this worker's service for a schema, rebuilding it on first use.
+
+    A warm worker never reads ``payload`` at all -- with the
+    shared-memory transport that makes the steady-state dispatch cost
+    independent of the schema size.  Cold rebuilds attach the segment
+    (zero-copy CSR views) or unpickle the legacy blob.  Evicting an
+    entry drops the last references to its service and its pinned
+    SharedMemory holder, which unmaps the segment in this worker;
+    *unlinking* remains the parent's job.
+    """
     key = (digest, config)
-    service = _WORKER_SERVICES.get(key)
-    if service is None:
-        indexed, index, report = pickle.loads(state_blob)
+    entry = _WORKER_SERVICES.get(key)
+    if entry is None:
+        kind, data = payload
+        holder: Any = None
+        if kind == "shm":
+            holder, indexed, index, report = attach_segment(data)
+        else:
+            indexed, index, report = pickle.loads(data)
         context = SchemaContext.from_shard_state(indexed, index, report)
         service = ConnectionService(schema=context.graph, config=config)
         service.engine.adopt_context(context)
-        _WORKER_SERVICES[key] = service
+        _WORKER_SERVICES[key] = (service, holder)
         while len(_WORKER_SERVICES) > _WORKER_SERVICE_LIMIT:
             _WORKER_SERVICES.popitem(last=False)
     else:
         _WORKER_SERVICES.move_to_end(key)
+        service = entry[0]
     return service
 
 
 def _solve_shard(
     digest: str,
-    state_blob: bytes,
+    payload: TransportPayload,
     config: ServiceConfig,
     requests: List[ConnectionRequest],
 ) -> List[dict]:
     """Answer one shard in a pool worker; returns encoded result payloads."""
-    service = _worker_service(digest, state_blob, config)
+    service = _worker_service(digest, payload, config)
     results = service.batch(requests)
     return [encode_result(result) for result in results]

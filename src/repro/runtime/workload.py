@@ -647,7 +647,6 @@ def run_workload(
     checksums: List[str] = []
     by_solver: Dict[str, int] = {}
     by_guarantee: Dict[str, int] = {}
-    cache_stats: dict = {}
 
     churn_checksums: List[str] = []
 
@@ -700,6 +699,7 @@ def run_workload(
             parallel_speedup = warm_phase.seconds / parallel_seconds
 
     disk_warm_ratio = None
+    disk_stats = None
     if cache_dir is not None:
         caching_config = config.with_overrides(cache_dir=cache_dir)
         populate_service = ConnectionService(schema=graph, config=caching_config)
@@ -712,7 +712,7 @@ def run_workload(
         replayed = _run_batches(replay_service.batch, requests, spec.batch_size)
         disk_seconds = perf_counter() - started
         record_phase("disk-warm", disk_seconds, replayed)
-        cache_stats = replay_service.cache_stats()
+        disk_stats = replay_service.cache_stats().get("disk")
         warm_phase = next(p for p in phases if p.name == "serial-warm")
         if warm_phase.seconds > 0:
             disk_warm_ratio = disk_seconds / warm_phase.seconds
@@ -746,6 +746,13 @@ def run_workload(
             )
             if incremental_seconds > 0:
                 churn_speedup = oracle_seconds / incremental_seconds
+
+    # final snapshot: the serving service's engine counters (schema
+    # cache + distance oracle) cover every static phase it answered; the
+    # disk replay service contributes only its "disk" counters
+    cache_stats = dict(service.cache_stats())
+    if disk_stats is not None:
+        cache_stats["disk"] = disk_stats
 
     return WorkloadReport(
         spec=spec.to_dict(),

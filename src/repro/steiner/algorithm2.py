@@ -23,6 +23,7 @@ from typing import Iterable, Optional, Sequence
 from repro.chordality.mn_chordal import is_62_chordal_bipartite
 from repro.core.covers import greedy_elimination_cover
 from repro.exceptions import NotApplicableError
+from repro.graphs.backend import is_indexed
 from repro.graphs.bipartite import BipartiteGraph, is_bipartite
 from repro.graphs.graph import Graph, Vertex
 from repro.graphs.spanning import spanning_tree
@@ -82,8 +83,16 @@ def steiner_algorithm2(
     cover_vertices = greedy_elimination_cover(
         graph, terminal_set, ordering=ordering, removal_batches=False
     )
-    component = component_containing(graph.subgraph(cover_vertices), next(iter(terminal_set)))
-    cover = graph.subgraph(component)
+    if is_indexed(graph):
+        # the indexed elimination kernel already returns the terminals'
+        # component of the surviving graph; re-deriving it would walk the
+        # cover a second time for nothing
+        cover = graph.subgraph(cover_vertices)
+    else:
+        component = component_containing(
+            graph.subgraph(cover_vertices), next(iter(terminal_set))
+        )
+        cover = graph.subgraph(component)
     tree = spanning_tree(cover)
     tree = prune_non_terminal_leaves(tree, terminal_set)
     solution = SteinerSolution(

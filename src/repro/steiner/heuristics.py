@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.graphs.backend import is_indexed
 from repro.graphs.graph import Graph, Vertex
 from repro.graphs.paths import shortest_path
 from repro.graphs.spanning import spanning_tree
@@ -32,12 +33,35 @@ from repro.steiner.problem import (
 )
 
 
+def _terminal_distance_rows(graph: Graph, terminal_list) -> Dict[Vertex, Dict[Vertex, int]]:
+    """Return ``{terminal: {vertex: distance}}``, batched on the fast backend.
+
+    On an :class:`~repro.graphs.indexed.IndexedGraph` the rows come from
+    one grouped kernel call sharing a scratch buffer
+    (:func:`repro.kernels.bfs.grouped_bfs_levels`); the mappings are
+    value-identical to per-terminal :func:`bfs_distances` calls either
+    way.
+    """
+    if is_indexed(graph):
+        from repro.kernels.bfs import grouped_bfs_levels, levels_to_dict
+
+        rows = grouped_bfs_levels(graph, terminal_list)
+        vertex_ids = range(graph.n)
+        return {
+            terminal: levels_to_dict(row, vertex_ids)
+            for terminal, row in zip(terminal_list, rows)
+        }
+    return {t: bfs_distances(graph, t) for t in terminal_list}
+
+
 def shortest_path_heuristic(graph: Graph, terminals: Iterable[Vertex]) -> SteinerSolution:
     """Takahashi-Matsuyama shortest-path heuristic (unit weights).
 
-    Accepts either graph backend: the inner BFS calls dispatch to the
-    integer fast lane when ``graph`` is an
-    :class:`~repro.graphs.indexed.IndexedGraph` (terminals are then ids).
+    Accepts either graph backend: the terminal distance rows are computed
+    once up front (through the grouped BFS kernel when ``graph`` is an
+    :class:`~repro.graphs.indexed.IndexedGraph`; terminals are then ids)
+    instead of once per attachment round -- the rows only depend on the
+    host graph, so the produced tree is unchanged.
     """
     instance = SteinerInstance(graph, terminals)
     instance.require_feasible()
@@ -45,16 +69,17 @@ def shortest_path_heuristic(graph: Graph, terminals: Iterable[Vertex]) -> Steine
     tree_vertices = {terminal_list[0]}
     tree = Graph(vertices=[terminal_list[0]])
     remaining = [t for t in terminal_list[1:]]
+    rows = _terminal_distance_rows(graph, remaining) if remaining else {}
     while remaining:
-        # distances from the current tree to every vertex: BFS from each
-        # remaining terminal, pick the terminal closest to the tree.
+        # distances from the current tree to every vertex: one cached BFS
+        # row per remaining terminal, pick the terminal closest to the tree.
         best_terminal = None
         best_path: Optional[List[Vertex]] = None
         for terminal in remaining:
             if terminal in tree_vertices:
                 path: Optional[List[Vertex]] = [terminal]
             else:
-                distances = bfs_distances(graph, terminal)
+                distances = rows[terminal]
                 reachable = [v for v in tree_vertices if v in distances]
                 target = min(reachable, key=lambda v: (distances[v], repr(v)))
                 path = shortest_path(graph, terminal, target)
@@ -97,9 +122,10 @@ def kou_markowsky_berman(
             method="kmb",
             optimal=False,
         )
-    # 1. metric closure over the terminals
+    # 1. metric closure over the terminals (grouped kernel on the
+    #    indexed backend; the engine passes its oracle-backed rows here)
     if distances is None:
-        distances = {t: bfs_distances(graph, t) for t in terminal_list}
+        distances = _terminal_distance_rows(graph, terminal_list)
     # 2. minimum spanning tree of the closure (Prim)
     in_tree = {terminal_list[0]}
     closure_edges: List[Tuple[Vertex, Vertex]] = []

@@ -550,13 +550,14 @@ class TestPackaging:
     def test_version_and_exports(self):
         import repro
 
-        assert repro.__version__ == "1.4.0"
+        assert repro.__version__ == "1.5.0"
         for name in (
             "BlockClassifier",
             "ConnectionRequest",
             "ConnectionResult",
             "ConnectionService",
             "DiskCache",
+            "DistanceOracle",
             "EnumerationStream",
             "Guarantee",
             "ParallelExecutor",

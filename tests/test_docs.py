@@ -86,6 +86,18 @@ def test_required_coverage_is_present():
     # runtime guide: both halves of the tentpole plus the CLI
     for needle in ("ParallelExecutor", "DiskCache", "python -m repro", "cache_dir"):
         assert needle in corpus["runtime.md"]
+    # performance guide: kernel layer, oracle, transport, trajectory file
+    for needle in (
+        "repro.kernels",
+        "DistanceOracle",
+        "shared-memory",
+        "BENCH_results.json",
+        "invalidat",
+    ):
+        assert needle in corpus["performance.md"], f"performance.md misses {needle}"
+    # the runtime and dynamic guides cross-link into the kernel layer
+    assert "performance.md" in corpus["runtime.md"]
+    assert "performance.md" in corpus["dynamic.md"]
     # migration note and enumeration contract
     assert "MinimalConnectionFinder" in corpus["migration.md"]
     assert "extend_budget" in corpus["enumeration.md"]

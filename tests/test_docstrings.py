@@ -20,6 +20,7 @@ SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
 TARGETS = sorted(
     list((SRC / "api").glob("*.py"))
     + list((SRC / "dynamic").glob("*.py"))
+    + list((SRC / "kernels").glob("*.py"))
     + list((SRC / "runtime").glob("*.py"))
     + [SRC / "engine" / "batch.py"]
 )
@@ -56,4 +57,5 @@ def test_public_surface_is_documented(path):
 
 
 def test_target_list_is_nonempty():
-    assert len(TARGETS) >= 16  # api (6) + dynamic (4) + runtime (6) + engine/batch
+    # api (6) + dynamic (4) + kernels (4) + runtime (6) + engine/batch
+    assert len(TARGETS) >= 20
