@@ -24,6 +24,7 @@ when no explicit ``wall_seconds`` is given.
 from __future__ import annotations
 
 import json
+import os
 import random
 from pathlib import Path
 
@@ -31,6 +32,12 @@ import pytest
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 RESULTS_PATH = REPO_ROOT / "BENCH_results.json"
+
+#: Trajectory document format.  2 added the ``complete`` marker (a session
+#: that crashed after :func:`record` used to emit a partial file nothing
+#: could tell apart from a full run) and the ``smoke`` mode flag;
+#: ``benchmarks.history append`` refuses anything incomplete or older.
+RESULTS_FORMAT = 2
 
 #: Session-collected entries, written by :func:`pytest_sessionfinish`.
 _RESULTS = []
@@ -81,15 +88,34 @@ def record(benchmark, **info):
     _RESULTS.append(_normalise(info))
 
 
+def write_results(path, results, complete, smoke=False):
+    """Write a trajectory document to ``path`` (the testable emitter).
+
+    ``complete=False`` marks a session that ended abnormally (crashed
+    worker, interrupted run): the cases it did record are preserved for
+    inspection, but downstream consumers -- ``benchmarks.history`` --
+    must refuse to fold them into the committed baseline, since missing
+    cases would otherwise silently vanish from the trajectory.
+    """
+    document = {
+        "format": RESULTS_FORMAT,
+        "complete": bool(complete),
+        "smoke": bool(smoke),
+        "cases": list(results),
+    }
+    Path(path).write_text(
+        json.dumps(document, indent=2, sort_keys=False, default=repr) + "\n",
+        encoding="utf-8",
+    )
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Write ``BENCH_results.json`` when this session recorded anything."""
     if not _RESULTS:
         return
-    document = {
-        "format": 1,
-        "cases": _RESULTS,
-    }
-    RESULTS_PATH.write_text(
-        json.dumps(document, indent=2, sort_keys=False, default=repr) + "\n",
-        encoding="utf-8",
+    write_results(
+        RESULTS_PATH,
+        _RESULTS,
+        complete=(exitstatus == 0),
+        smoke=bool(os.environ.get("REPRO_BENCH_SMOKE")),
     )

@@ -1,0 +1,310 @@
+"""The durable benchmark trajectory and its CI regression gate.
+
+``BENCH_results.json`` is ephemeral -- one session's numbers, rewritten
+every run and ignored by git.  This tool folds each results file into the
+**committed** ``BENCH_history.json``, a bounded rolling window of entries
+per benchmark case, and gates CI on it::
+
+    python -m benchmarks.history append --history BENCH_history.json \\
+        --results BENCH_results.json --commit "$(git rev-parse HEAD)"
+    python -m benchmarks.history check --history BENCH_history.json \\
+        --results BENCH_results.json --tolerance 0.35
+
+``append`` refuses an incomplete results file (``"complete": false`` --
+the session crashed after recording, see ``benchmarks/conftest.py``) and
+stamps every entry with the commit passed via argv; nothing here reads
+the clock, so re-running the tool on the same inputs writes the same
+bytes.  ``check`` compares each case's fresh ``wall_ms`` against the
+median of its rolling window (same smoke/full mode only) and fails --
+exit code 1 -- when a case is slower than ``median * (1 + tolerance)``.
+A brand-new case passes (it gets baselined by the next ``append``); a
+case present in history but missing from the results warns without
+failing (benchmarks do get renamed); a corrupted or old-format history
+file is ignored and rebuilt from scratch, mirroring the versioned-format
+policy of :class:`repro.runtime.diskcache.DiskCache`.  Exit code 2 marks
+unusable *inputs* (missing or incomplete results), distinct from a real
+regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from statistics import median
+from typing import Any, Dict, List, Optional
+
+#: Format tag of ``BENCH_history.json``; bump on incompatible changes
+#: (older or unknown formats are discarded and rebuilt, never migrated).
+HISTORY_FORMAT = 1
+
+#: Results-file format this tool consumes (see ``benchmarks/conftest.py``);
+#: format 1 predates the ``complete`` marker, so it cannot be trusted.
+RESULTS_FORMAT = 2
+
+#: Rolling-window length per case: old entries age out so a slow drift
+#: cannot hide behind an ancient fast baseline forever.
+DEFAULT_WINDOW = 20
+
+#: Default regression tolerance vs the rolling median.  Generous on
+#: purpose: CI runners are shared and the smoke-mode cases run in single
+#: milliseconds, so tighter gates would flake before they protect.
+DEFAULT_TOLERANCE = 0.35
+
+
+def load_results(path: Path) -> Dict[str, Any]:
+    """Read and validate a ``BENCH_results.json`` document.
+
+    Raises ``ValueError`` with a human-readable reason when the file is
+    missing, unparsable, of an untrusted format, or incomplete -- callers
+    turn that into exit code 2.
+    """
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as error:
+        raise ValueError(f"cannot read results {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise ValueError(f"results {path} is not valid JSON: {error}") from error
+    if not isinstance(data, dict) or not isinstance(data.get("cases"), list):
+        raise ValueError(f"results {path} has no 'cases' list")
+    if data.get("format") != RESULTS_FORMAT:
+        raise ValueError(
+            f"results {path} has format {data.get('format')!r}; this tool "
+            f"needs format {RESULTS_FORMAT} (with the 'complete' marker) -- "
+            "re-run the benchmarks"
+        )
+    if data.get("complete") is not True:
+        raise ValueError(
+            f"results {path} is marked incomplete (the bench session ended "
+            "abnormally); refusing to use a partial trajectory"
+        )
+    return data
+
+
+def load_history(path: Path) -> Optional[Dict[str, Any]]:
+    """Read ``BENCH_history.json``; ``None`` when absent, corrupt, or old.
+
+    A missing file is simply a fresh start; a corrupt or old-format file
+    is *also* treated as absent (the caller warns and rebuilds) -- the
+    committed history must never be able to wedge CI.
+    """
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    if (
+        not isinstance(data, dict)
+        or data.get("format") != HISTORY_FORMAT
+        or not isinstance(data.get("cases"), dict)
+    ):
+        return None
+    return data
+
+
+def fresh_history(window: int) -> Dict[str, Any]:
+    """Return an empty history document."""
+    return {"format": HISTORY_FORMAT, "window": window, "cases": {}}
+
+
+def append_results(
+    history: Dict[str, Any],
+    results: Dict[str, Any],
+    commit: str,
+    window: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Fold one complete results document into the history (in place).
+
+    Every recorded case with a ``wall_ms`` gains one entry ``{commit,
+    wall_ms, n, speedup, smoke}``; each case's window is trimmed to the
+    bound from the history document (or ``window`` when given).
+    """
+    if window is not None:
+        history["window"] = window
+    bound = int(history.get("window", DEFAULT_WINDOW))
+    smoke = bool(results.get("smoke", False))
+    for case in results["cases"]:
+        if not isinstance(case, dict) or case.get("wall_ms") is None:
+            continue
+        entries = history["cases"].setdefault(str(case.get("name")), [])
+        entries.append(
+            {
+                "commit": commit,
+                "wall_ms": case["wall_ms"],
+                "n": case.get("n"),
+                "speedup": case.get("speedup"),
+                "smoke": smoke,
+            }
+        )
+        del entries[:-bound]
+    return history
+
+
+def write_history(history: Dict[str, Any], path: Path) -> None:
+    """Write the history document (sorted keys: deterministic bytes)."""
+    path.write_text(
+        json.dumps(history, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def case_baseline(
+    history: Dict[str, Any], name: str, smoke: bool
+) -> Optional[Dict[str, float]]:
+    """Return the rolling baseline of a case, or ``None`` when it has none.
+
+    Only entries of the same mode count: smoke runs measure scaled-down
+    instances, so comparing a smoke result against full-mode history (or
+    vice versa) would gate on noise.
+    """
+    entries = [
+        entry
+        for entry in history["cases"].get(name, [])
+        if isinstance(entry, dict)
+        and isinstance(entry.get("wall_ms"), (int, float))
+        and bool(entry.get("smoke", False)) == smoke
+    ]
+    if not entries:
+        return None
+    walls = [float(entry["wall_ms"]) for entry in entries]
+    return {"median_ms": median(walls), "min_ms": min(walls), "samples": len(walls)}
+
+
+def check_results(
+    history: Optional[Dict[str, Any]],
+    results: Dict[str, Any],
+    tolerance: float,
+    out=sys.stdout,
+) -> List[str]:
+    """Compare a results document against the history; return failure lines.
+
+    Prints one verdict line per case; the returned list is non-empty
+    exactly when some case regressed beyond ``tolerance`` vs its rolling
+    median baseline.
+    """
+    failures: List[str] = []
+    if history is None:
+        print(
+            "history: missing, corrupt, or old format -- nothing to gate "
+            "against (it will be rebuilt by the next append)",
+            file=out,
+        )
+        return failures
+    smoke = bool(results.get("smoke", False))
+    mode = "smoke" if smoke else "full"
+    seen = set()
+    for case in results["cases"]:
+        if not isinstance(case, dict) or case.get("wall_ms") is None:
+            continue
+        name = str(case.get("name"))
+        seen.add(name)
+        baseline = case_baseline(history, name, smoke)
+        if baseline is None:
+            print(f"NEW       {name}: no {mode}-mode baseline yet", file=out)
+            continue
+        wall = float(case["wall_ms"])
+        limit = baseline["median_ms"] * (1.0 + tolerance)
+        verdict = "OK" if wall <= limit else "REGRESSED"
+        line = (
+            f"{verdict:<9} {name}: {wall:.3f} ms vs median "
+            f"{baseline['median_ms']:.3f} ms over {baseline['samples']} "
+            f"{mode} sample(s), limit {limit:.3f} ms"
+        )
+        print(line, file=out)
+        if verdict == "REGRESSED":
+            failures.append(line)
+    for name in sorted(set(history["cases"]) - seen):
+        print(
+            f"MISSING   {name}: in history but not in this run "
+            "(renamed or removed benchmark? not a failure)",
+            file=out,
+        )
+    return failures
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    """Return the argument parser for ``python -m benchmarks.history``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.history",
+        description=(
+            "Fold BENCH_results.json into the committed BENCH_history.json "
+            "and gate CI on regressions vs the rolling baseline."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    for name, help_text in (
+        ("append", "fold a complete results file into the history"),
+        ("check", "fail when a case regresses beyond tolerance"),
+    ):
+        sub = commands.add_parser(name, help=help_text)
+        sub.add_argument(
+            "--history", required=True, type=Path,
+            help="path to the committed BENCH_history.json",
+        )
+        sub.add_argument(
+            "--results", required=True, type=Path,
+            help="path to the session's BENCH_results.json",
+        )
+        if name == "append":
+            sub.add_argument(
+                "--commit", required=True,
+                help="commit stamp for the new entries (e.g. git rev-parse HEAD)",
+            )
+            sub.add_argument(
+                "--window", type=int, default=None,
+                help=f"rolling-window bound per case (default {DEFAULT_WINDOW})",
+            )
+        else:
+            sub.add_argument(
+                "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                help=(
+                    "allowed slowdown vs the rolling median, as a fraction "
+                    f"(default {DEFAULT_TOLERANCE})"
+                ),
+            )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code (0 / 1 / 2)."""
+    args = _build_parser().parse_args(argv)
+    try:
+        results = load_results(args.results)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.command == "append":
+        history = load_history(args.history)
+        if history is None:
+            if args.history.exists():
+                print(
+                    f"history {args.history}: corrupt or old format, rebuilding",
+                    file=sys.stderr,
+                )
+            history = fresh_history(
+                args.window if args.window is not None else DEFAULT_WINDOW
+            )
+        append_results(history, results, args.commit, window=args.window)
+        write_history(history, args.history)
+        print(
+            f"appended {len(results['cases'])} case(s) at {args.commit[:12]} "
+            f"-> {args.history}"
+        )
+        return 0
+
+    if args.tolerance < 0:
+        print("error: --tolerance must be >= 0", file=sys.stderr)
+        return 2
+    failures = check_results(load_history(args.history), results, args.tolerance)
+    if failures:
+        print(
+            f"{len(failures)} case(s) regressed beyond tolerance "
+            f"{args.tolerance:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,7 +41,12 @@ The package provides:
   CSR backend, the cross-query ``DistanceOracle`` attached to every
   schema context (component-granular invalidation under edits), and
   the zero-copy shared-memory transport the parallel runtime dispatches
-  shards with (see ``docs/performance.md``).
+  shards with (see ``docs/performance.md``),
+* the observability layer (``repro.metrics``): zero-dependency
+  counters/gauges/histograms with Prometheus text exposition, wired
+  through the service, runtime and dynamic layers -- injectable per
+  service via ``ServiceConfig(metrics=...)``, disabled wholesale with
+  ``NullRegistry`` (see ``docs/observability.md``).
 
 The most common entry points are re-exported here; see ``README.md`` for a
 guided tour and the ``docs/`` site for the architecture, scenario and
@@ -91,6 +96,7 @@ from repro.exceptions import (
 from repro.dynamic import BlockClassifier, EditOp, SchemaDelta, SchemaEditor
 from repro.engine import InterpretationEngine, batch_interpret, schema_digest
 from repro.kernels import DistanceOracle, grouped_bfs_levels, grouped_bfs_parents
+from repro.metrics import MetricsRegistry, NullRegistry, default_metrics
 from repro.graphs import (
     BipartiteGraph,
     Graph,
@@ -131,7 +137,7 @@ from repro.steiner import (
     steiner_tree_dreyfus_wagner,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "BipartiteGraph",
@@ -156,8 +162,10 @@ __all__ = [
     "HypergraphError",
     "IndexedGraph",
     "InterpretationEngine",
+    "MetricsRegistry",
     "MinimalConnectionFinder",
     "NotApplicableError",
+    "NullRegistry",
     "ParallelExecutor",
     "Provenance",
     "QueryInterpreter",
@@ -176,6 +184,7 @@ __all__ = [
     "batch_interpret",
     "chordality_class",
     "classify_bipartite_graph",
+    "default_metrics",
     "from_indexed",
     "grouped_bfs_levels",
     "grouped_bfs_parents",

@@ -15,6 +15,7 @@ from dataclasses import dataclass, replace
 from typing import Optional, Union
 
 from repro.exceptions import ValidationError
+from repro.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -57,6 +58,14 @@ class ServiceConfig:
         of rebuilding it with a full Theorem 1 recognition.  Set to
         ``False`` to force full rebuilds (the churn oracle and the
         dynamic benchmarks do, to have a baseline to compare against).
+    metrics:
+        The :class:`~repro.metrics.MetricsRegistry` the service's
+        instruments collect into.  ``None`` (the default) means the
+        process-wide registry from :func:`~repro.metrics.default_metrics`;
+        inject a fresh registry to isolate one service's metrics, or a
+        :class:`~repro.metrics.NullRegistry` to disable instrumentation
+        entirely.  Pool workers always run with ``metrics=None``
+        overridden in (registries do not cross process boundaries).
     """
 
     exact_terminal_limit: int = 8
@@ -67,6 +76,7 @@ class ServiceConfig:
     enumeration_max_extra: Optional[int] = None
     cache_dir: Optional[Union[str, os.PathLike]] = None
     incremental: bool = True
+    metrics: Optional[MetricsRegistry] = None
 
     def __post_init__(self) -> None:
         if self.exact_terminal_limit < 0 or self.exact_vertex_limit < 0:
@@ -85,6 +95,8 @@ class ServiceConfig:
             raise ValidationError("enumeration_max_extra must be non-negative")
         if not isinstance(self.incremental, bool):
             raise ValidationError("incremental must be a bool")
+        if self.metrics is not None and not isinstance(self.metrics, MetricsRegistry):
+            raise ValidationError("metrics must be a MetricsRegistry (or None)")
 
     def with_overrides(self, **overrides) -> "ServiceConfig":
         """Return a copy with the given fields replaced (validation re-runs)."""

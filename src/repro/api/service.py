@@ -39,6 +39,7 @@ from repro.engine.cache import SchemaContext
 from repro.engine.planner import QueryPlan, plan_query
 from repro.engine.registry import SolverRegistry
 from repro.exceptions import NotApplicableError, ValidationError
+from repro.metrics import MetricsRegistry, default_metrics
 from repro.steiner.problem import SteinerSolution
 
 RequestLike = Union[ConnectionRequest, Iterable]
@@ -121,6 +122,46 @@ class ConnectionService:
         self._disk = None
         self._bound_digest = None
         self._bound_digest_version = None
+        # observability: instruments live in the configured registry (the
+        # process-wide default when config.metrics is None); cache counters
+        # are exported lazily by a snapshot collector at render time, so
+        # the query hot path only ever touches the two direct instruments
+        self._metrics = (
+            self._config.metrics
+            if self._config.metrics is not None
+            else default_metrics()
+        )
+        query_labels = ("instance_class", "solver", "guarantee")
+        self._queries_total = self._metrics.counter(
+            "repro_queries_total",
+            "Connection requests answered, by plan and outcome.",
+            query_labels,
+        )
+        self._query_latency = self._metrics.histogram(
+            "repro_query_latency_seconds",
+            "Wall time of one answered connection request.",
+            query_labels,
+        )
+        self._disk_replays = self._metrics.counter(
+            "repro_disk_replays_total",
+            "Requests answered verbatim from the persistent result cache.",
+        )
+        self._rebind_outcomes = self._metrics.counter(
+            "repro_rebind_total",
+            "Bound-schema rebind outcomes after a mutation "
+            "(incremental / noop / fallback / full).",
+            ("outcome",),
+        )
+        self._rebind_patch_latency = self._metrics.histogram(
+            "repro_rebind_patch_seconds",
+            "Wall time of one incremental apply_delta patch.",
+        )
+        self._rebind_delta_size = self._metrics.histogram(
+            "repro_rebind_delta_edits",
+            "Net vertex+edge edits per incremental rebind delta.",
+            buckets=(1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0),
+        )
+        self._metrics.register_collector(self._collect_cache_metrics)
 
     # ------------------------------------------------------------------
     # introspection
@@ -139,6 +180,47 @@ class ConnectionService:
     def schema(self) -> Any:
         """The default schema handle (``None`` when unbound)."""
         return self._schema
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The registry this service's instruments collect into."""
+        return self._metrics
+
+    def _collect_cache_metrics(self) -> None:
+        """Export :meth:`cache_stats` counters as gauges (snapshot collector).
+
+        Registered on the service's registry and run at
+        :meth:`~repro.metrics.MetricsRegistry.render_text` time, so the
+        schema-cache, distance-oracle and disk-cache counters cost the
+        query hot path nothing.  When several services share one registry
+        the last-rendered service's snapshot wins -- inject per-service
+        registries (``ServiceConfig(metrics=...)``) to keep them apart.
+        """
+        stats = self.cache_stats()
+        schema_gauge = self._metrics.gauge(
+            "repro_schema_cache",
+            "Schema-cache counters snapshotted from cache_stats().",
+            ("stat",),
+        )
+        oracle_gauge = self._metrics.gauge(
+            "repro_distance_oracle",
+            "Distance-oracle counters snapshotted from cache_stats().",
+            ("stat",),
+        )
+        disk_gauge = self._metrics.gauge(
+            "repro_disk_cache",
+            "Persistent-cache counters snapshotted from cache_stats().",
+            ("stat",),
+        )
+        for stat, value in stats.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                schema_gauge.labels(stat=stat).set(value)
+        for stat, value in stats.get("distance_oracle", {}).items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                oracle_gauge.labels(stat=stat).set(value)
+        for stat, value in stats.get("disk", {}).items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                disk_gauge.labels(stat=stat).set(value)
 
     def classification(self, schema: Any = None) -> ChordalityReport:
         """Return the chordality classification of a schema (cached)."""
@@ -225,7 +307,7 @@ class ConnectionService:
         if payload is None:
             return None
         try:
-            return decode_result(
+            replay = decode_result(
                 payload,
                 graph=self._engine.resolve_schema(
                     request.schema if request.schema is not None else self._schema
@@ -239,6 +321,8 @@ class ConnectionService:
             # miss, never a crash -- the request is simply recomputed
             disk.invalid += 1
             return None
+        self._disk_replays.inc()
+        return replay
 
     def _disk_replay_scan(
         self, disk, materialised: "List[ConnectionRequest]", digest: str
@@ -332,6 +416,7 @@ class ConnectionService:
         """
         previous = self._bound_context
         if previous is None or not self._config.incremental:
+            self._rebind_outcomes.labels(outcome="full").inc()
             return self._build_context(schema, digest)
         from repro.dynamic.delta import SchemaDelta
 
@@ -343,14 +428,20 @@ class ConnectionService:
                 # transaction that cancelled out): the old context is
                 # exactly right
                 self._engine.cache.count_external_hit()
+                self._rebind_outcomes.labels(outcome="noop").inc()
                 return previous, True
+            patch_started = perf_counter()
             context = previous.apply_delta(delta)
         except Exception:
             # correctness is unaffected (the full rebuild answers
             # identically) but the degradation must be visible:
             # cache_stats()["rebind_fallbacks"] counts these
             self._engine.cache.count_rebind_fallback()
+            self._rebind_outcomes.labels(outcome="fallback").inc()
             return self._build_context(schema, digest)
+        self._rebind_outcomes.labels(outcome="incremental").inc()
+        self._rebind_patch_latency.observe(perf_counter() - patch_started)
+        self._rebind_delta_size.observe(delta.size())
         self._engine.cache.adopt(context)
         # report a rebuild (cache_hit=False): the first answer after a
         # mutation pays incremental re-derivation, exactly as a fresh
@@ -460,15 +551,23 @@ class ConnectionService:
                 f"request for terminals {list(request.terminals)!r} (got "
                 f"heuristic answer from {solution.metadata.get('solver')!r})"
             )
+        elapsed = perf_counter() - started
         provenance = Provenance(
             solver=solution.metadata.get("solver", solution.method),
             instance_class=plan.instance_class.value,
             plan=plan.reason,
             cache_hit=cache_hit,
             fallback_from=solution.metadata.get("fallback_from"),
-            wall_time_ms=(perf_counter() - started) * 1000.0,
+            wall_time_ms=elapsed * 1000.0,
             tags=dict(request.tags),
         )
+        outcome = {
+            "instance_class": provenance.instance_class,
+            "solver": provenance.solver,
+            "guarantee": guarantee.value,
+        }
+        self._queries_total.labels(**outcome).inc()
+        self._query_latency.labels(**outcome).observe(elapsed)
         return ConnectionResult(
             request=request,
             solution=solution,

@@ -111,6 +111,15 @@ class SchemaDelta:
             touched.add(v)
         return touched
 
+    def size(self) -> int:
+        """Return the number of net edits (vertices + edges, both signs)."""
+        return (
+            len(self.added_vertices)
+            + len(self.removed_vertices)
+            + len(self.added_edges)
+            + len(self.removed_edges)
+        )
+
     def summary(self) -> str:
         """Return a compact human-readable description of the net effect."""
         return (

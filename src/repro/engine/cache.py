@@ -57,6 +57,7 @@ class LRUCache:
         self._data: "OrderedDict[Hashable, object]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(self, key: Hashable):
         """Return the cached value or ``None``, refreshing recency."""
@@ -73,6 +74,7 @@ class LRUCache:
         self._data.move_to_end(key)
         while len(self._data) > self.maxsize:
             self._data.popitem(last=False)
+            self.evictions += 1
 
     def __len__(self) -> int:
         return len(self._data)
@@ -641,6 +643,7 @@ class SchemaCache:
         return {
             "hits": self._contexts.hits,
             "misses": self._contexts.misses,
+            "evictions": self._contexts.evictions,
             "size": len(self._contexts),
             "maxsize": self._contexts.maxsize,
             "rebind_fallbacks": self.rebind_fallbacks,

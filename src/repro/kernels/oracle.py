@@ -65,6 +65,14 @@ class OracleStats:
             "invalidated": self.invalidated,
         }
 
+    @property
+    def hit_rate(self) -> Optional[float]:
+        """Hits over lookups (``None`` before the first lookup)."""
+        lookups = self.hits + self.misses
+        if lookups == 0:
+            return None
+        return self.hits / lookups
+
 
 class DistanceOracle:
     """LRU of per-source BFS distance/parent rows on one immutable graph.

@@ -83,6 +83,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", dest="json_path", default=None,
         help="write the full report as JSON to this path ('-' = stdout)",
     )
+    run.add_argument(
+        "--metrics-out", dest="metrics_path", default=None,
+        help=(
+            "write the run's metrics in Prometheus text exposition format "
+            "to this path (e.g. metrics.prom)"
+        ),
+    )
 
     commands.add_parser(
         "spec-template", help="print a starter workload spec to stdout"
@@ -143,8 +150,40 @@ def _print_summary(report: WorkloadReport) -> None:
             f"evictions={oracle.get('evictions', 0)} "
             f"invalidated={oracle.get('invalidated', 0)}"
         )
+    _print_metrics(report.metrics_summary)
     status = "CONSISTENT" if report.checksums_consistent else "MISMATCH"
     print(f"answers   : {status} (checksum {report.checksum[:16]}...)")
+
+
+def _print_metrics(summary: dict) -> None:
+    """Print the metrics roll-up section (omitted for a NullRegistry run)."""
+    if not summary:
+        return
+    print()
+    print("metrics")
+    line = f"  queries observed : {summary.get('queries_observed', 0)}"
+    if "latency_p50_ms" in summary:
+        line += (
+            f"  (p50 {summary['latency_p50_ms']:.3f} ms, "
+            f"p99 {summary['latency_p99_ms']:.3f} ms)"
+        )
+    print(line)
+    for key, label in (
+        ("schema_cache_hit_rate", "schema-cache hit rate"),
+        ("oracle_hit_rate", "oracle hit rate"),
+    ):
+        if key in summary:
+            print(f"  {label:<17}: {summary[key]:.1%}")
+    if "rebinds" in summary:
+        outcomes = ", ".join(
+            f"{outcome}={int(count)}"
+            for outcome, count in sorted(summary["rebinds"].items())
+        )
+        print(f"  rebinds          : {outcomes}")
+    if "shards_dispatched" in summary:
+        print(f"  shards dispatched: {int(summary['shards_dispatched'])}")
+    if "disk_replays" in summary:
+        print(f"  disk replays     : {int(summary['disk_replays'])}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -181,5 +220,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 handle.write(report.to_json())
                 handle.write("\n")
             print(f"report    : {args.json_path}")
+    if args.metrics_path:
+        with open(args.metrics_path, "w", encoding="utf-8") as handle:
+            handle.write(report.metrics_text)
+        if args.json_path != "-":
+            print(f"metrics   : {args.metrics_path}")
 
     return 0 if report.checksums_consistent else 1

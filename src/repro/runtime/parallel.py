@@ -190,6 +190,20 @@ class ParallelExecutor:
         self._segment_finalizer = weakref.finalize(
             self, _release_segments, self._segments
         )
+        # observability: instruments share the parent service's registry;
+        # the shm inventory is exported by a snapshot collector at render
+        # time, so dispatch pays only the two fan-out instruments
+        self._metrics = service.metrics
+        self._shards_total = self._metrics.counter(
+            "repro_shards_total",
+            "Shards dispatched to pool workers.",
+        )
+        self._shard_fanout = self._metrics.histogram(
+            "repro_shard_fanout",
+            "Shards per parallel batch.",
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
+        )
+        self._metrics.register_collector(self._collect_shm_metrics)
 
     # ------------------------------------------------------------------
     # introspection / lifecycle
@@ -212,6 +226,17 @@ class ParallelExecutor:
     def active_segments(self) -> Tuple[str, ...]:
         """Return the names of the shared-memory segments currently owned."""
         return tuple(self._segments)
+
+    def _collect_shm_metrics(self) -> None:
+        """Export the shared-memory inventory as gauges (snapshot collector)."""
+        self._metrics.gauge(
+            "repro_shm_segments",
+            "Parent-owned shared-memory transport segments.",
+        ).set(len(self._segments))
+        self._metrics.gauge(
+            "repro_shm_bytes",
+            "Total bytes of parent-owned shared-memory segments.",
+        ).set(sum(segment.size for segment in self._segments.values()))
 
     def close(self) -> None:
         """Shut the worker pool down and release the shared-memory segments.
@@ -315,7 +340,13 @@ class ParallelExecutor:
                 batch_schema, resolved, context, digest
             )
             shards = self._shard(pending)
-            worker_config = service.config.with_overrides(cache_dir=None)
+            self._shards_total.inc(len(shards))
+            self._shard_fanout.observe(len(shards))
+            # workers never ship the parent's disk cache or its metrics
+            # registry (registries hold callables and do not pickle)
+            worker_config = service.config.with_overrides(
+                cache_dir=None, metrics=None
+            )
             pool = self._ensure_pool()
             futures = [
                 pool.submit(

@@ -58,6 +58,7 @@ from repro.datasets.generators import (
 from repro.dynamic.editor import SchemaEditor
 from repro.exceptions import ValidationError
 from repro.graphs.bipartite import BipartiteGraph
+from repro.metrics import MetricsRegistry, NullRegistry
 from repro.runtime.parallel import ParallelExecutor
 
 #: Schema generators a spec may name (an allowlist: specs are data, and
@@ -429,6 +430,8 @@ class WorkloadReport:
     disk_warm_ratio: Optional[float] = None
     churn_speedup: Optional[float] = None
     cache_stats: dict = field(default_factory=dict)
+    metrics_summary: dict = field(default_factory=dict)
+    metrics_text: str = field(default="", repr=False)
 
     def phase(self, name: str) -> Optional[PhaseResult]:
         """Return the named phase (``None`` when it was not run)."""
@@ -452,6 +455,9 @@ class WorkloadReport:
             "disk_warm_ratio": self.disk_warm_ratio,
             "churn_speedup": self.churn_speedup,
             "cache_stats": self.cache_stats,
+            # the full exposition text ships separately (--metrics-out);
+            # the report carries the condensed roll-up only
+            "metrics": self.metrics_summary,
         }
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -640,6 +646,12 @@ def run_workload(
     overridden_workers = workers if workers is not None else spec.workers
     overridden_shard = shard_size if shard_size is not None else spec.shard_size
     config = base_config if base_config is not None else ServiceConfig()
+    if config.metrics is None:
+        # one per-run registry shared by every phase's services, so the
+        # report's metrics section describes this run alone (an injected
+        # registry -- including a NullRegistry -- is honoured as-is)
+        config = config.with_overrides(metrics=MetricsRegistry())
+    registry = config.metrics
 
     graph = spec.build_schema()
     requests = spec.build_requests(graph)
@@ -650,7 +662,20 @@ def run_workload(
 
     churn_checksums: List[str] = []
 
+    phase_seconds = registry.gauge(
+        "repro_phase_seconds", "Wall time of each workload phase.", ("phase",)
+    )
+    phase_queries = registry.gauge(
+        "repro_phase_queries", "Queries answered by each workload phase.", ("phase",)
+    )
+    phases_total = registry.counter(
+        "repro_phases_total", "Workload phases executed.", ("group",)
+    )
+
     def record_phase(name, seconds, results, phase_workers=1, group="main"):
+        phase_seconds.labels(phase=name).set(seconds)
+        phase_queries.labels(phase=name).set(len(results))
+        phases_total.labels(group=group).inc()
         checksum = canonical_checksum(results)
         (checksums if group == "main" else churn_checksums).append(checksum)
         phases.append(
@@ -754,6 +779,11 @@ def run_workload(
     if disk_stats is not None:
         cache_stats["disk"] = disk_stats
 
+    # rendering runs the snapshot collectors, so the exposition text and
+    # the condensed summary both see final cache/oracle/shm counters
+    metrics_text = registry.render_text()
+    metrics_summary = _metrics_summary(registry, cache_stats)
+
     return WorkloadReport(
         spec=spec.to_dict(),
         vertices=graph.number_of_vertices(),
@@ -770,4 +800,51 @@ def run_workload(
         disk_warm_ratio=disk_warm_ratio,
         churn_speedup=churn_speedup,
         cache_stats=cache_stats,
+        metrics_summary=metrics_summary,
+        metrics_text=metrics_text,
     )
+
+
+def _metrics_summary(registry: MetricsRegistry, cache_stats: dict) -> dict:
+    """Condense a run's registry and cache counters for the CLI report.
+
+    Latency quantiles come from the family-level roll-up of the query
+    histogram (:meth:`~repro.metrics.Histogram.merged`); hit rates from
+    the final ``cache_stats`` snapshot.  Keys are omitted rather than
+    reported as zero when a subsystem saw no traffic, and a
+    :class:`~repro.metrics.NullRegistry` yields an empty summary.
+    """
+    summary: Dict[str, Any] = {}
+    if isinstance(registry, NullRegistry):
+        return summary
+    latency = registry.get("repro_query_latency_seconds")
+    if latency is not None:
+        merged = latency.merged()
+        summary["queries_observed"] = merged.count
+        if merged.count:
+            summary["latency_p50_ms"] = round(merged.quantile(0.5) * 1000.0, 4)
+            summary["latency_p99_ms"] = round(merged.quantile(0.99) * 1000.0, 4)
+    hits = cache_stats.get("hits", 0)
+    misses = cache_stats.get("misses", 0)
+    if hits + misses:
+        summary["schema_cache_hit_rate"] = round(hits / (hits + misses), 4)
+    oracle = cache_stats.get("distance_oracle", {})
+    lookups = oracle.get("hits", 0) + oracle.get("misses", 0)
+    if lookups:
+        summary["oracle_hit_rate"] = round(oracle.get("hits", 0) / lookups, 4)
+    rebinds = registry.get("repro_rebind_total")
+    if rebinds is not None:
+        outcomes = {
+            key[0]: child.value
+            for key, child in rebinds.children()
+            if child.value
+        }
+        if outcomes:
+            summary["rebinds"] = outcomes
+    shards = registry.get("repro_shards_total")
+    if shards is not None and shards.value:
+        summary["shards_dispatched"] = shards.value
+    replays = registry.get("repro_disk_replays_total")
+    if replays is not None and replays.value:
+        summary["disk_replays"] = replays.value
+    return summary

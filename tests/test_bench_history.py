@@ -1,0 +1,274 @@
+"""The benchmark trajectory tools: emitter, history fold, regression gate.
+
+Covers the two halves of the committed-baseline pipeline:
+
+* ``benchmarks/conftest.py``'s :func:`write_results` emitter -- the
+  format-2 document with the ``complete`` marker that distinguishes a
+  clean session from one that crashed after recording (the silent-drop
+  bug this PR closes);
+* ``benchmarks/history.py`` -- folding results into the bounded
+  ``BENCH_history.json`` window and the ``check`` gate's policy table:
+  just-under tolerance passes, just-over fails, a brand-new case is
+  baselined rather than failed, a removed case warns without failing,
+  and a corrupted or old-format history is discarded and rebuilt.
+
+Both modules live outside ``src`` (they are repo tooling, not package
+code), so they are loaded by file path here.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def _load(alias, path):
+    spec = importlib.util.spec_from_file_location(alias, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+history = _load("bench_history", REPO / "benchmarks" / "history.py")
+bench_conftest = _load("bench_conftest", REPO / "benchmarks" / "conftest.py")
+
+
+def make_results(cases, complete=True, smoke=False, format=None):
+    return {
+        "format": history.RESULTS_FORMAT if format is None else format,
+        "complete": complete,
+        "smoke": smoke,
+        "cases": [
+            {"name": name, "n": 10, "wall_ms": wall, "speedup": None, "info": {}}
+            for name, wall in cases
+        ],
+    }
+
+
+def write_json(path, document):
+    path.write_text(json.dumps(document), encoding="utf-8")
+    return path
+
+
+def history_with(path, cases, window=20):
+    document = history.fresh_history(window)
+    for name, walls in cases.items():
+        document["cases"][name] = [
+            {"commit": f"c{i}", "wall_ms": wall, "n": 10, "speedup": None,
+             "smoke": False}
+            for i, wall in enumerate(walls)
+        ]
+    return write_json(path, document)
+
+
+# ----------------------------------------------------------------------
+# the emitter (benchmarks/conftest.py)
+# ----------------------------------------------------------------------
+def test_write_results_emits_format_2_with_completeness_marker(tmp_path):
+    path = tmp_path / "results.json"
+    bench_conftest.write_results(
+        path, [{"name": "case", "wall_ms": 1.0}], complete=True, smoke=True
+    )
+    document = json.loads(path.read_text())
+    assert document["format"] == history.RESULTS_FORMAT
+    assert document["complete"] is True
+    assert document["smoke"] is True
+    assert document["cases"] == [{"name": "case", "wall_ms": 1.0}]
+
+
+def test_write_results_marks_crashed_sessions_incomplete(tmp_path):
+    path = tmp_path / "results.json"
+    bench_conftest.write_results(path, [], complete=0)  # truthiness coerced
+    assert json.loads(path.read_text())["complete"] is False
+
+
+# ----------------------------------------------------------------------
+# loading and validation
+# ----------------------------------------------------------------------
+def test_load_results_rejects_missing_bad_old_and_incomplete(tmp_path):
+    with pytest.raises(ValueError, match="cannot read"):
+        history.load_results(tmp_path / "absent.json")
+    (tmp_path / "b.json").write_text("{broken", encoding="utf-8")
+    with pytest.raises(ValueError, match="not valid JSON"):
+        history.load_results(tmp_path / "b.json")
+    write_json(tmp_path / "c.json", {"format": history.RESULTS_FORMAT})
+    with pytest.raises(ValueError, match="no 'cases'"):
+        history.load_results(tmp_path / "c.json")
+    write_json(tmp_path / "old.json", {"format": 1, "cases": []})
+    with pytest.raises(ValueError, match="format"):
+        history.load_results(tmp_path / "old.json")
+    write_json(tmp_path / "partial.json", make_results([("x", 1.0)], complete=False))
+    with pytest.raises(ValueError, match="incomplete"):
+        history.load_results(tmp_path / "partial.json")
+    good = write_json(tmp_path / "good.json", make_results([("x", 1.0)]))
+    assert history.load_results(good)["complete"] is True
+
+
+def test_load_history_discards_corrupt_and_old_formats(tmp_path):
+    assert history.load_history(tmp_path / "absent.json") is None
+    (tmp_path / "corrupt.json").write_text("{not json", encoding="utf-8")
+    assert history.load_history(tmp_path / "corrupt.json") is None
+    write_json(tmp_path / "old.json", {"format": 0, "cases": {}})
+    assert history.load_history(tmp_path / "old.json") is None
+    fine = history_with(tmp_path / "fine.json", {"a": [1.0]})
+    assert history.load_history(fine)["cases"]["a"][0]["wall_ms"] == 1.0
+
+
+# ----------------------------------------------------------------------
+# appending and the rolling window
+# ----------------------------------------------------------------------
+def test_append_stamps_commit_and_bounds_the_window():
+    document = history.fresh_history(window=3)
+    for i in range(5):
+        history.append_results(
+            document, make_results([("case", float(i))]), commit=f"sha{i}"
+        )
+    entries = document["cases"]["case"]
+    assert len(entries) == 3  # trimmed to the window
+    assert [entry["wall_ms"] for entry in entries] == [2.0, 3.0, 4.0]
+    assert [entry["commit"] for entry in entries] == ["sha2", "sha3", "sha4"]
+    assert all(entry["smoke"] is False for entry in entries)
+
+
+def test_append_skips_cases_without_wall_ms():
+    document = history.fresh_history(window=5)
+    results = make_results([("timed", 1.0)])
+    results["cases"].append({"name": "untimed", "wall_ms": None})
+    history.append_results(document, results, commit="sha")
+    assert set(document["cases"]) == {"timed"}
+
+
+def test_write_history_is_deterministic(tmp_path):
+    document = history.fresh_history(window=2)
+    history.append_results(document, make_results([("a", 1.0)]), commit="sha")
+    first, second = tmp_path / "one.json", tmp_path / "two.json"
+    history.write_history(document, first)
+    history.write_history(document, second)
+    assert first.read_bytes() == second.read_bytes()
+
+
+# ----------------------------------------------------------------------
+# the regression gate
+# ----------------------------------------------------------------------
+def check(history_doc, results, tolerance=0.35):
+    out = io.StringIO()
+    failures = history.check_results(history_doc, results, tolerance, out=out)
+    return failures, out.getvalue()
+
+
+def test_just_under_tolerance_passes_and_just_over_fails(tmp_path):
+    document = history.load_history(
+        history_with(tmp_path / "h.json", {"case": [90.0, 100.0, 110.0]})
+    )
+    # rolling median 100, tolerance 0.35 -> limit 135
+    failures, text = check(document, make_results([("case", 134.9)]))
+    assert failures == [] and "OK" in text
+    failures, text = check(document, make_results([("case", 135.1)]))
+    assert len(failures) == 1 and "REGRESSED" in text
+    assert "135.000 ms" in text  # the limit is spelled out
+
+
+def test_new_case_is_baselined_not_failed(tmp_path):
+    document = history.load_history(history_with(tmp_path / "h.json", {}))
+    failures, text = check(document, make_results([("brand_new", 999.0)]))
+    assert failures == []
+    assert "NEW" in text and "no full-mode baseline" in text
+
+
+def test_removed_case_warns_without_failing(tmp_path):
+    document = history.load_history(
+        history_with(tmp_path / "h.json", {"retired": [5.0]})
+    )
+    failures, text = check(document, make_results([]))
+    assert failures == []
+    assert "MISSING" in text and "retired" in text
+
+
+def test_smoke_and_full_baselines_never_cross(tmp_path):
+    document = history.load_history(
+        history_with(tmp_path / "h.json", {"case": [1.0]})  # full-mode entries
+    )
+    # a smoke run 100x slower than the full baseline must not be gated
+    # against it: no same-mode history means NEW, not REGRESSED
+    failures, text = check(document, make_results([("case", 100.0)], smoke=True))
+    assert failures == [] and "NEW" in text
+    assert history.case_baseline(document, "case", smoke=True) is None
+    assert history.case_baseline(document, "case", smoke=False) == {
+        "median_ms": 1.0, "min_ms": 1.0, "samples": 1,
+    }
+
+
+def test_missing_history_is_an_informational_pass():
+    failures, text = check(None, make_results([("case", 1.0)]))
+    assert failures == []
+    assert "rebuilt" in text
+
+
+# ----------------------------------------------------------------------
+# the CLI (exit codes and the append/check round trip)
+# ----------------------------------------------------------------------
+def cli(*argv):
+    return history.main([str(part) for part in argv])
+
+
+def test_cli_round_trip_and_exit_codes(tmp_path):
+    results = write_json(tmp_path / "r.json", make_results([("case", 100.0)]))
+    path = tmp_path / "h.json"
+
+    # check before any history: informational pass
+    assert cli("check", "--history", path, "--results", results) == 0
+    # append baselines the case, check passes against it
+    assert cli("append", "--history", path, "--results", results,
+               "--commit", "abcdef0123456789") == 0
+    assert json.loads(path.read_text())["cases"]["case"][0]["commit"] == (
+        "abcdef0123456789"
+    )
+    assert cli("check", "--history", path, "--results", results) == 0
+
+    # a regressed rerun fails with exit code 1
+    slow = write_json(tmp_path / "slow.json", make_results([("case", 200.0)]))
+    assert cli("check", "--history", path, "--results", slow) == 1
+    # a tolerant gate lets the same rerun through
+    assert cli("check", "--history", path, "--results", slow,
+               "--tolerance", "1.5") == 0
+    # unusable inputs are exit code 2, distinct from a regression
+    assert cli("check", "--history", path, "--results", tmp_path / "nope.json") == 2
+    partial = write_json(
+        tmp_path / "partial.json", make_results([("case", 1.0)], complete=False)
+    )
+    assert cli("append", "--history", path, "--results", partial,
+               "--commit", "sha") == 2
+    assert cli("check", "--history", path, "--results", slow,
+               "--tolerance", "-1") == 2
+
+
+def test_cli_append_rebuilds_a_corrupted_history(tmp_path, capsys):
+    results = write_json(tmp_path / "r.json", make_results([("case", 1.0)]))
+    path = tmp_path / "h.json"
+    path.write_text("][ definitely not json", encoding="utf-8")
+    assert cli("append", "--history", path, "--results", results,
+               "--commit", "sha") == 0
+    rebuilt = json.loads(path.read_text())
+    assert rebuilt["format"] == history.HISTORY_FORMAT
+    assert "case" in rebuilt["cases"]
+    assert "rebuilding" in capsys.readouterr().err
+
+
+def test_cli_append_requires_commit(tmp_path):
+    results = write_json(tmp_path / "r.json", make_results([("case", 1.0)]))
+    with pytest.raises(SystemExit):
+        cli("append", "--history", tmp_path / "h.json", "--results", results)
+
+
+def test_committed_history_gates_the_committed_smoke_suite():
+    """The repo's own BENCH_history.json must stay loadable and format-1."""
+    document = history.load_history(REPO / "BENCH_history.json")
+    assert document is not None, "committed BENCH_history.json failed to load"
+    assert document["format"] == history.HISTORY_FORMAT
+    assert document["cases"], "committed history has no baselined cases"

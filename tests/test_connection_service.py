@@ -550,7 +550,7 @@ class TestPackaging:
     def test_version_and_exports(self):
         import repro
 
-        assert repro.__version__ == "1.5.0"
+        assert repro.__version__ == "1.6.0"
         for name in (
             "BlockClassifier",
             "ConnectionRequest",
@@ -560,6 +560,8 @@ class TestPackaging:
             "DistanceOracle",
             "EnumerationStream",
             "Guarantee",
+            "MetricsRegistry",
+            "NullRegistry",
             "ParallelExecutor",
             "Provenance",
             "SchemaDelta",

@@ -95,9 +95,24 @@ def test_required_coverage_is_present():
         "invalidat",
     ):
         assert needle in corpus["performance.md"], f"performance.md misses {needle}"
+    # observability guide: instruments, exposition, and the CI gate
+    for needle in (
+        "repro.metrics",
+        "NullRegistry",
+        "render_text",
+        "BENCH_history.json",
+        "--metrics-out",
+        "tolerance",
+    ):
+        assert needle in corpus["observability.md"], (
+            f"observability.md misses {needle}"
+        )
     # the runtime and dynamic guides cross-link into the kernel layer
     assert "performance.md" in corpus["runtime.md"]
     assert "performance.md" in corpus["dynamic.md"]
+    # and all three perf-adjacent guides cross-link the metrics layer
+    for page in ("performance.md", "runtime.md", "dynamic.md"):
+        assert "observability.md" in corpus[page], f"{page} misses the cross-link"
     # migration note and enumeration contract
     assert "MinimalConnectionFinder" in corpus["migration.md"]
     assert "extend_budget" in corpus["enumeration.md"]

@@ -1,8 +1,9 @@
 """Docstring coverage of the public API surface, enforced via ``ast``.
 
 CI runs ruff's pydocstyle rules (``D10x``, see ``pyproject.toml``) over
-``repro.api``, ``repro.dynamic``, ``repro.engine.batch`` and
-``repro.runtime``; this test enforces the same contract locally without
+``repro.api``, ``repro.dynamic``, ``repro.kernels``, ``repro.metrics``,
+``repro.engine.batch`` and ``repro.runtime``; this test enforces the
+same contract locally without
 needing ruff installed: every public module, class, function, method and
 property in those packages must carry a non-empty docstring.
 ``_private`` names and dunders are exempt (matching the relaxed rule
@@ -21,6 +22,7 @@ TARGETS = sorted(
     list((SRC / "api").glob("*.py"))
     + list((SRC / "dynamic").glob("*.py"))
     + list((SRC / "kernels").glob("*.py"))
+    + list((SRC / "metrics").glob("*.py"))
     + list((SRC / "runtime").glob("*.py"))
     + [SRC / "engine" / "batch.py"]
 )
@@ -57,5 +59,6 @@ def test_public_surface_is_documented(path):
 
 
 def test_target_list_is_nonempty():
-    # api (6) + dynamic (4) + kernels (4) + runtime (6) + engine/batch
-    assert len(TARGETS) >= 20
+    # api (6) + dynamic (4) + kernels (4) + metrics (3) + runtime (6)
+    # + engine/batch
+    assert len(TARGETS) >= 23
