@@ -46,7 +46,15 @@ The package provides:
   counters/gauges/histograms with Prometheus text exposition, wired
   through the service, runtime and dynamic layers -- injectable per
   service via ``ServiceConfig(metrics=...)``, disabled wholesale with
-  ``NullRegistry`` (see ``docs/observability.md``).
+  ``NullRegistry`` (see ``docs/observability.md``),
+* the multi-tenant connection server (``repro.server``):
+  ``python -m repro serve`` puts the whole API surface behind
+  length-prefixed JSON frames over TCP -- a ``SchemaRegistry`` hosts
+  many named schemas with per-tenant config, admission control and LRU
+  eviction (disk-warm rebinds via the shared ``DiskCache``),
+  enumeration pauses/resumes **across the wire** through opaque
+  continuation tokens, and a sidecar HTTP listener serves
+  ``GET /metrics`` (see ``docs/server.md``).
 
 The most common entry points are re-exported here; see ``README.md`` for a
 guided tour and the ``docs/`` site for the architecture, scenario and
@@ -127,6 +135,13 @@ from repro.runtime import (
     WorkloadSpec,
     run_workload,
 )
+from repro.server import (
+    RemoteError,
+    ReproClient,
+    ReproServer,
+    SchemaRegistry,
+    TenantLimits,
+)
 from repro.steiner import (
     SteinerInstance,
     SteinerSolution,
@@ -137,7 +152,7 @@ from repro.steiner import (
     steiner_tree_dreyfus_wagner,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "BipartiteGraph",
@@ -171,10 +186,15 @@ __all__ = [
     "QueryInterpreter",
     "Relation",
     "RelationalSchema",
+    "RemoteError",
+    "ReproClient",
     "ReproError",
+    "ReproServer",
     "SchemaDelta",
     "SchemaEditor",
+    "SchemaRegistry",
     "ServiceConfig",
+    "TenantLimits",
     "SteinerInstance",
     "SteinerSolution",
     "ValidationError",

@@ -11,6 +11,7 @@ over this package.
 """
 
 from repro.api.config import ServiceConfig
+from repro.api.context import RequestContext, current_request, request_scope
 from repro.api.request import ConnectionRequest
 from repro.api.result import ConnectionResult, Guarantee, Provenance
 from repro.api.service import ConnectionService, default_service
@@ -23,6 +24,9 @@ __all__ = [
     "EnumerationStream",
     "Guarantee",
     "Provenance",
+    "RequestContext",
     "ServiceConfig",
+    "current_request",
     "default_service",
+    "request_scope",
 ]

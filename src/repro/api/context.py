@@ -1,0 +1,148 @@
+"""Span-like request context: one identity shared by logs, metrics and provenance.
+
+A server answering traffic for many tenants needs every answer to be
+attributable after the fact: *which* request produced this tree, for
+*which* tenant, and where did the wall-clock go.  Before this module the
+:class:`~repro.api.result.Provenance` record could not say -- the service
+had no notion of "the request currently being served", so server logs
+and provenance disagreed on identity.
+
+:class:`RequestContext` is that notion, carried in a
+:class:`contextvars.ContextVar` so it flows naturally through
+``asyncio`` tasks **and** into worker threads started with
+:func:`asyncio.to_thread` (which copies the context).  The
+:mod:`repro.server` connection handler opens a :func:`request_scope`
+around every RPC; :meth:`ConnectionService._finish
+<repro.api.service.ConnectionService>` reads the active context and
+stamps its identity -- request id, tenant, and the accumulated
+wall-clock *phases* (``context`` / ``plan`` / ``solve``) -- onto the
+returned provenance.  When no scope is active (every pre-server call
+site), the service pays one function call per phase and the provenance
+fields stay ``None``, so golden fixtures and differential suites are
+unaffected.
+
+Examples
+--------
+>>> from repro.graphs import BipartiteGraph
+>>> from repro.api import ConnectionService
+>>> g = BipartiteGraph(left=["A", "B"], right=[1], edges=[("A", 1), ("B", 1)])
+>>> service = ConnectionService(schema=g)
+>>> with request_scope(request_id="req-1", tenant="acme"):
+...     result = service.connect(["A", "B"])
+>>> result.provenance.request_id, result.provenance.tenant
+('req-1', 'acme')
+>>> sorted(result.provenance.phases) == ['context', 'plan', 'solve']
+True
+>>> service.connect(["A", "B"]).provenance.request_id is None
+True
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, Iterator, Optional
+
+_ACTIVE: "contextvars.ContextVar[Optional[RequestContext]]" = contextvars.ContextVar(
+    "repro_request_context", default=None
+)
+
+#: Fallback request-id source for scopes opened without an explicit id.
+_SEQUENCE = itertools.count(1)
+
+
+@dataclass
+class RequestContext:
+    """Identity and wall-clock phase accounting for one in-flight request.
+
+    Attributes
+    ----------
+    request_id:
+        Opaque caller-assigned identifier (the server stamps one per RPC).
+    tenant:
+        The tenant the request is served for (``None`` outside the
+        multi-tenant server).
+    phases:
+        Accumulated wall-clock seconds per phase name.  Within one scope
+        the phases are *cumulative*: a batch's later results report the
+        time spent on all queries so far, and the final result carries
+        the scope's totals.
+    """
+
+    request_id: str
+    tenant: Optional[str] = None
+    phases: Dict[str, float] = field(default_factory=dict)
+
+    def add_phase(self, name: str, seconds: float) -> None:
+        """Accumulate ``seconds`` of wall-clock into the named phase."""
+        self.phases[name] = self.phases.get(name, 0.0) + seconds
+
+    @contextmanager
+    def timed_phase(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block into the named phase."""
+        started = perf_counter()
+        try:
+            yield
+        finally:
+            self.add_phase(name, perf_counter() - started)
+
+    def phases_ms(self) -> Dict[str, float]:
+        """Return a snapshot of the phases, converted to milliseconds."""
+        return {name: seconds * 1000.0 for name, seconds in self.phases.items()}
+
+
+def current_request() -> Optional[RequestContext]:
+    """Return the active :class:`RequestContext`, or ``None`` outside a scope."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def request_scope(
+    request_id: Optional[str] = None, tenant: Optional[str] = None
+) -> Iterator[RequestContext]:
+    """Open a request scope; service calls inside it stamp its identity.
+
+    ``request_id`` defaults to a process-unique ``req-<n>`` when omitted.
+    Scopes nest: the innermost wins, and leaving the ``with`` block
+    restores whatever was active before (also when the block raises).
+    """
+    context = RequestContext(
+        request_id=request_id if request_id is not None else f"req-{next(_SEQUENCE)}",
+        tenant=tenant,
+    )
+    token = _ACTIVE.set(context)
+    try:
+        yield context
+    finally:
+        _ACTIVE.reset(token)
+
+
+class _NoopPhase:
+    """The shared do-nothing context manager used outside request scopes."""
+
+    def __enter__(self) -> None:
+        """Nothing to start."""
+        return None
+
+    def __exit__(self, *exc_info) -> bool:
+        """Nothing to record; never swallows exceptions."""
+        return False
+
+
+_NOOP_PHASE = _NoopPhase()
+
+
+def phase(name: str):
+    """Return a context manager timing a phase of the active request.
+
+    The hot-path helper the service wraps its stages in: with no active
+    :class:`RequestContext` it returns a shared no-op (one dict lookup,
+    no allocation), so un-scoped callers pay essentially nothing.
+    """
+    context = _ACTIVE.get()
+    if context is None:
+        return _NOOP_PHASE
+    return context.timed_phase(name)

@@ -61,6 +61,15 @@ class Provenance:
         this process; ``None`` for freshly computed answers.  Orthogonal to
         ``cache_hit``, which describes the in-memory *schema-context* LRU
         of the computation that originally produced the answer.
+    request_id / tenant / phases:
+        Span-like identity stamped from the active
+        :class:`~repro.api.context.RequestContext` (see
+        :func:`~repro.api.context.request_scope`): the server-assigned
+        request id, the tenant the answer was served for, and the
+        wall-clock phase breakdown in milliseconds (cumulative within
+        the enclosing scope).  All ``None`` outside a request scope, so
+        server logs and provenance agree on identity while in-process
+        callers see no change.
     """
 
     solver: str
@@ -71,6 +80,9 @@ class Provenance:
     wall_time_ms: float = 0.0
     tags: dict = field(default_factory=dict)
     result_cache: Optional[str] = None
+    request_id: Optional[str] = None
+    tenant: Optional[str] = None
+    phases: Optional[dict] = None
 
     def to_dict(self, include_timing: bool = True) -> dict:
         """Return a JSON-serialisable record (timing is droppable for fixtures)."""
@@ -87,6 +99,12 @@ class Provenance:
             record["tags"] = dict(self.tags)
         if self.result_cache is not None:
             record["result_cache"] = self.result_cache
+        if self.request_id is not None:
+            record["request_id"] = self.request_id
+        if self.tenant is not None:
+            record["tenant"] = self.tenant
+        if self.phases is not None and include_timing:
+            record["phases"] = dict(self.phases)
         return record
 
 

@@ -30,6 +30,7 @@ from time import perf_counter
 from typing import Any, Iterable, List, Optional, Union
 
 from repro.api.config import ServiceConfig
+from repro.api.context import current_request, phase
 from repro.api.request import ConnectionRequest, validate_terminals
 from repro.api.result import ConnectionResult, Guarantee, Provenance
 from repro.api.stream import EnumerationStream
@@ -131,7 +132,9 @@ class ConnectionService:
             if self._config.metrics is not None
             else default_metrics()
         )
-        query_labels = ("instance_class", "solver", "guarantee")
+        # "tenant" is the multi-tenant server's dimension; in-process
+        # callers (no active request scope) collect under tenant=""
+        query_labels = ("instance_class", "solver", "guarantee", "tenant")
         self._queries_total = self._metrics.counter(
             "repro_queries_total",
             "Connection requests answered, by plan and outcome.",
@@ -552,6 +555,10 @@ class ConnectionService:
                 f"heuristic answer from {solution.metadata.get('solver')!r})"
             )
         elapsed = perf_counter() - started
+        # span-like identity: inside a request_scope (the server opens one
+        # per RPC) the answer carries the scope's request id, tenant and
+        # wall-clock phase breakdown, so logs and provenance agree
+        scope = current_request()
         provenance = Provenance(
             solver=solution.metadata.get("solver", solution.method),
             instance_class=plan.instance_class.value,
@@ -560,11 +567,17 @@ class ConnectionService:
             fallback_from=solution.metadata.get("fallback_from"),
             wall_time_ms=elapsed * 1000.0,
             tags=dict(request.tags),
+            request_id=scope.request_id if scope is not None else None,
+            tenant=scope.tenant if scope is not None else None,
+            phases=scope.phases_ms() if scope is not None else None,
         )
         outcome = {
             "instance_class": provenance.instance_class,
             "solver": provenance.solver,
             "guarantee": guarantee.value,
+            "tenant": (
+                scope.tenant if scope is not None and scope.tenant is not None else ""
+            ),
         }
         self._queries_total.labels(**outcome).inc()
         self._query_latency.labels(**outcome).observe(elapsed)
@@ -593,10 +606,15 @@ class ConnectionService:
             replay = self._disk_lookup(disk, req, digest)
             if replay is not None:
                 return replay
-        context, cache_hit = self._context(req.schema, digest)
+        with phase("context"):
+            context, cache_hit = self._context(req.schema, digest)
         side = self._side_of(req)
-        plan = self._plan(context, req, side)
-        solution = self._engine.execute_plan(context, plan, list(req.terminals), side)
+        with phase("plan"):
+            plan = self._plan(context, req, side)
+        with phase("solve"):
+            solution = self._engine.execute_plan(
+                context, plan, list(req.terminals), side
+            )
         result = self._finish(req, plan, solution, cache_hit, started)
         if disk is not None:
             disk.store_report(digest, context.report)
@@ -646,13 +664,16 @@ class ConnectionService:
                 results.append(replayed[position])
                 continue
             if context is None:
-                context, cache_hit = self._context(batch_schema, digest)
+                with phase("context"):
+                    context, cache_hit = self._context(batch_schema, digest)
             query_started = perf_counter()
             request_side = self._side_of(request)
-            plan = self._plan(context, request, request_side)
-            solution = self._engine.execute_plan(
-                context, plan, list(request.terminals), request_side
-            )
+            with phase("plan"):
+                plan = self._plan(context, request, request_side)
+            with phase("solve"):
+                solution = self._engine.execute_plan(
+                    context, plan, list(request.terminals), request_side
+                )
             result = self._finish(request, plan, solution, cache_hit, query_started)
             results.append(result)
             if disk is not None:

@@ -15,6 +15,12 @@ Subcommands::
 
     python -m repro run spec.json --workers 4 --cache-dir .repro-cache
     python -m repro spec-template          # print a starter spec
+    python -m repro serve --port 7463      # multi-tenant connection server
+
+``serve`` starts the :class:`~repro.server.app.ReproServer` (see
+``docs/server.md``) and drains gracefully on SIGTERM/SIGINT: it stops
+accepting, finishes in-flight requests, flushes the disk cache, then
+exits 0.
 
 See ``docs/runtime.md`` for the caching/parallelism guide.
 """
@@ -93,6 +99,33 @@ def _build_parser() -> argparse.ArgumentParser:
 
     commands.add_parser(
         "spec-template", help="print a starter workload spec to stdout"
+    )
+
+    serve = commands.add_parser(
+        "serve", help="start the multi-tenant connection server"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="interface to bind (default: loopback)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="RPC port (default: 0 = pick a free port and print it)",
+    )
+    serve.add_argument(
+        "--metrics-port", type=int, default=0,
+        help="HTTP port for GET /metrics (default: 0 = pick a free port)",
+    )
+    serve.add_argument(
+        "--capacity", type=int, default=8,
+        help="tenants kept bound in memory before LRU eviction (default: 8)",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None,
+        help="persistent result cache shared by all tenants (disk-warm rebinds)",
+    )
+    serve.add_argument(
+        "--drain-grace", type=float, default=10.0,
+        help="seconds to wait for in-flight requests on shutdown (default: 10)",
     )
     return parser
 
@@ -186,10 +219,49 @@ def _print_metrics(summary: dict) -> None:
         print(f"  disk replays     : {int(summary['disk_replays'])}")
 
 
+def _serve(args: argparse.Namespace) -> int:
+    """Run the connection server until SIGTERM/SIGINT, then drain."""
+    import asyncio
+    import signal
+
+    from repro.server.app import ReproServer
+
+    server = ReproServer(
+        host=args.host,
+        port=args.port,
+        metrics_port=args.metrics_port,
+        capacity=args.capacity,
+        cache_dir=args.cache_dir,
+        drain_grace=args.drain_grace,
+    )
+
+    async def _run() -> None:
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, server.request_drain)
+        print(
+            f"repro-server listening on {server.host}:{server.port} "
+            f"(metrics: http://{server.host}:{server.metrics_port}/metrics)",
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # signal raced the handler installation
+        pass
+    print("repro-server drained cleanly", flush=True)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
     args = parser.parse_args(argv)
+
+    if args.command == "serve":
+        return _serve(args)
 
     if args.command == "spec-template":
         try:

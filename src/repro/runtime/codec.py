@@ -53,6 +53,27 @@ class PayloadError(ValueError):
     """Raised by :func:`decode_result` on malformed or mismatched payloads."""
 
 
+#: Memo of label ``repr`` strings.  Every encoded result repr-sorts its
+#: tree vertices and edges, and labels are drawn from a small per-schema
+#: universe, so caching the strings takes the sort keys off the
+#: per-result hot path (pool transport and the server wire alike).
+_REPR_MEMO: dict = {}
+_REPR_MEMO_MAX = 65536
+
+
+def _label_repr(label) -> str:
+    """``repr(label)``, memoised for hashable labels."""
+    try:
+        return _REPR_MEMO[label]
+    except KeyError:
+        text = repr(label)
+        if len(_REPR_MEMO) < _REPR_MEMO_MAX:
+            _REPR_MEMO[label] = text
+        return text
+    except TypeError:  # unhashable label; legal, just not memoisable
+        return repr(label)
+
+
 def request_key(request: ConnectionRequest, config: Optional[ServiceConfig] = None) -> str:
     """Return a stable content address for one request.
 
@@ -110,9 +131,16 @@ def encode_result(result: ConnectionResult) -> dict:
     tree = solution.tree
     return {
         "version": PAYLOAD_VERSION,
-        "tree_vertices": sorted(tree.vertices(), key=repr),
+        "tree_vertices": sorted(tree.vertices(), key=_label_repr),
+        # each edge oriented low-repr-first (inlined two-element sort --
+        # this is the per-result hot path for both pool transport and
+        # the server wire), then the edge list repr-sorted as a whole
         "tree_edges": sorted(
-            (tuple(sorted(edge, key=repr)) for edge in tree.edges()), key=repr
+            (
+                (u, v) if _label_repr(u) <= _label_repr(v) else (v, u)
+                for u, v in tree.edges()
+            ),
+            key=_label_repr,
         ),
         "method": solution.method,
         "side": solution.side,
@@ -127,6 +155,9 @@ def encode_result(result: ConnectionResult) -> dict:
             "cache_hit": result.provenance.cache_hit,
             "fallback_from": result.provenance.fallback_from,
             "wall_time_ms": result.provenance.wall_time_ms,
+            "request_id": result.provenance.request_id,
+            "tenant": result.provenance.tenant,
+            "phases": result.provenance.phases,
         },
     }
 
@@ -193,6 +224,11 @@ def decode_result(
             wall_time_ms=stored["wall_time_ms"],
             tags=dict(request.tags),
             result_cache=result_cache,
+            # .get(): payloads written before the request-context fields
+            # existed decode to None, same as an un-scoped computation
+            request_id=stored.get("request_id"),
+            tenant=stored.get("tenant"),
+            phases=stored.get("phases"),
         )
         return ConnectionResult(
             request=request,

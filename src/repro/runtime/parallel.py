@@ -362,7 +362,11 @@ class ParallelExecutor:
             # earliest failing request raises -- exactly the serial batch's
             # all-or-nothing contract
             for shard, future in zip(shards, futures):
-                shard_payloads = future.result()
+                shard_payloads, metrics_delta = future.result()
+                # fold the worker-side instruments (queries, latency,
+                # solver outcomes) into the parent registry: per-batch
+                # deltas, so reused workers never double-count
+                self._metrics.merge_snapshot(metrics_delta)
                 for (position, _), payload in zip(shard, shard_payloads):
                     payloads[position] = payload
 
@@ -506,8 +510,21 @@ def _solve_shard(
     payload: TransportPayload,
     config: ServiceConfig,
     requests: List[ConnectionRequest],
-) -> List[dict]:
-    """Answer one shard in a pool worker; returns encoded result payloads."""
+) -> Tuple[List[dict], dict]:
+    """Answer one shard in a pool worker.
+
+    Returns ``(encoded result payloads, metrics snapshot delta)``.  The
+    worker's registry is long-lived (services are LRU-cached across
+    batches), so the envelope carries only the counters and histograms
+    this shard moved (:func:`~repro.metrics.snapshot_delta`) -- the
+    parent merges them instead of dropping the worker's registry on the
+    floor.
+    """
+    from repro.metrics import snapshot_delta
+
     service = _worker_service(digest, payload, config)
+    additive = ("counter", "histogram")
+    before = service.metrics.snapshot(kinds=additive)
     results = service.batch(requests)
-    return [encode_result(result) for result in results]
+    delta = snapshot_delta(service.metrics.snapshot(kinds=additive), before)
+    return [encode_result(result) for result in results], delta

@@ -1,0 +1,752 @@
+"""`ReproServer`: the asyncio connection server fronting the SchemaRegistry.
+
+One process, two listeners:
+
+* the **RPC listener** speaks the length-prefixed JSON frame protocol of
+  :mod:`repro.server.protocol` -- every connection runs a read loop that
+  validates each frame against the typed command table and dispatches to
+  a ``_cmd_<name>`` handler, answering with typed success/error
+  envelopes (and ``stream`` frames for ``enumerate``);
+* the **metrics listener** speaks just enough HTTP/1.0 to serve
+  ``GET /metrics`` (the registry's Prometheus text exposition, tenant
+  labels included) and ``GET /healthz``.
+
+Concurrency model: all registry and stream bookkeeping is confined to
+the event-loop thread; only the solve itself runs in a worker thread
+(:func:`asyncio.to_thread`), serialized **per tenant** by an
+:class:`asyncio.Lock` -- a :class:`~repro.api.service.ConnectionService`
+is single-threaded by contract, but different tenants' services solve
+concurrently.  Each RPC runs inside a
+:func:`~repro.api.context.request_scope` (which ``to_thread`` propagates
+via ``contextvars``), so every answer's provenance carries the
+server-assigned request id, the tenant, and the wall-clock phase
+breakdown -- the identity the server's own accounting uses.
+
+Enumeration resumes **across the wire**: a budget-paused stream stays in
+a server-side table keyed by the continuation token's stream id, and
+the token also carries everything needed to rebuild the stream
+statelessly (terminals, bounds, resume rank) -- so resumption survives
+client reconnects *and* server restarts, with identical continuation
+order either way (enumeration is deterministic).  Graceful drain
+(SIGTERM or :meth:`ReproServer.request_drain`) stops accepting, lets
+in-flight commands finish, flushes classification reports to the disk
+cache, and only then lets ``serve_forever`` return.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Dict, Optional
+
+from repro.api.context import request_scope
+from repro.api.request import ConnectionRequest
+from repro.dynamic.editor import SchemaEditor
+from repro.metrics import MetricsRegistry, default_metrics
+from repro.server.codec import (
+    decode_continuation,
+    decode_schema,
+    decode_value,
+    encode_continuation,
+    encode_value,
+    encode_wire_result,
+)
+from repro.server.errors import AuthenticationError, ProtocolError, envelope_for
+from repro.server.protocol import encode_frame, lookup_command, read_frame
+from repro.server.registry import SchemaRegistry
+
+#: Default page size for ``enumerate`` calls that specify no budget and
+#: whose tenant config has none either.
+DEFAULT_ENUMERATION_PAGE = 8
+
+#: Paused streams kept live for fast resume; older ones fall back to the
+#: stateless continuation-token path.
+MAX_LIVE_STREAMS = 128
+
+
+class _Connection:
+    """Per-connection state: the writer plus a busy flag for drain."""
+
+    __slots__ = ("writer", "busy")
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.busy = False
+
+
+class ReproServer:
+    """Multi-tenant JSON-over-TCP connection server.
+
+    Parameters
+    ----------
+    host / port:
+        RPC listener address; ``port=0`` picks an ephemeral port
+        (readable as :attr:`port` after :meth:`start`).
+    metrics_port:
+        HTTP listener port for ``GET /metrics`` / ``GET /healthz``
+        (``0`` = ephemeral, readable as :attr:`metrics_port`).
+    registry:
+        An existing :class:`~repro.server.registry.SchemaRegistry` to
+        serve; built from ``capacity`` / ``cache_dir`` / ``metrics``
+        when omitted.
+    drain_grace:
+        Seconds :meth:`drain` waits for in-flight commands before
+        force-closing their connections.
+
+    Examples
+    --------
+    ::
+
+        server = ReproServer(port=0)
+        await server.start()
+        ...
+        await server.drain()
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        metrics_port: int = 0,
+        registry: Optional[SchemaRegistry] = None,
+        capacity: int = 8,
+        cache_dir: Optional[str] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        drain_grace: float = 10.0,
+    ) -> None:
+        self._host = host
+        self._requested_port = port
+        self._requested_metrics_port = metrics_port
+        self._metrics = metrics if metrics is not None else default_metrics()
+        self._registry = (
+            registry
+            if registry is not None
+            else SchemaRegistry(
+                capacity, cache_dir=cache_dir, metrics=self._metrics
+            )
+        )
+        self._drain_grace = drain_grace
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._http_server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._connections: Dict[asyncio.Task, _Connection] = {}
+        self._tenant_locks: Dict[str, asyncio.Lock] = {}
+        self._streams: "Dict[str, dict]" = {}
+        self._stream_seq = itertools.count(1)
+        self._request_seq = itertools.count(1)
+        self._draining = False
+        self._stopped = asyncio.Event()
+        self.port: Optional[int] = None
+        self.metrics_port: Optional[int] = None
+        self._requests_total = self._metrics.counter(
+            "repro_server_requests_total",
+            "RPC commands handled, by command and outcome.",
+            ("command", "outcome"),
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        """The interface both listeners bind."""
+        return self._host
+
+    @property
+    def registry(self) -> SchemaRegistry:
+        """The schema registry this server fronts."""
+        return self._registry
+
+    @property
+    def draining(self) -> bool:
+        """True once a drain has been requested."""
+        return self._draining
+
+    async def start(self) -> None:
+        """Bind both listeners and record the resolved ports."""
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._on_connection, self._host, self._requested_port
+        )
+        self._http_server = await asyncio.start_server(
+            self._on_http, self._host, self._requested_metrics_port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.metrics_port = self._http_server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Block until a drain completes."""
+        await self._stopped.wait()
+
+    def request_drain(self) -> None:
+        """Begin a graceful drain; safe from signal handlers and other threads."""
+        loop = self._loop
+        if loop is None:
+            return
+        loop.call_soon_threadsafe(
+            lambda: loop.create_task(self.drain())
+        )
+
+    async def drain(self) -> dict:
+        """Stop accepting, finish in-flight commands, flush, shut down.
+
+        Idempotent: concurrent calls all wait for the one drain.  Idle
+        connections are closed immediately; busy ones get
+        ``drain_grace`` seconds to finish their current command (each
+        read loop exits at its next frame boundary once draining).
+        Returns ``{"flushed": <classification reports stored>}``.
+        """
+        if self._draining:
+            await self._stopped.wait()
+            return {"flushed": 0}
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for connection in self._connections.values():
+            if not connection.busy:
+                connection.writer.close()
+        if self._connections:
+            await asyncio.wait(
+                set(self._connections), timeout=self._drain_grace
+            )
+        for connection in self._connections.values():
+            connection.writer.close()
+        flushed = self._registry.flush()
+        self._streams.clear()
+        if self._http_server is not None:
+            self._http_server.close()
+            await self._http_server.wait_closed()
+        self._stopped.set()
+        return {"flushed": flushed}
+
+    # ------------------------------------------------------------------
+    # RPC connection handling
+    # ------------------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        connection = _Connection(writer)
+        if task is not None:
+            self._connections[task] = connection
+        try:
+            await self._read_loop(reader, writer, connection)
+        finally:
+            if task is not None:
+                self._connections.pop(task, None)
+            writer.close()
+
+    async def _read_loop(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        connection: _Connection,
+    ) -> None:
+        while True:
+            try:
+                frame = await read_frame(reader)
+            except ProtocolError as error:
+                # unframeable input: report once, then close -- resync
+                # inside a corrupt byte stream is not possible
+                await self._send(
+                    writer, {"id": None, "ok": False, "error": envelope_for(error)}
+                )
+                return
+            except (ConnectionError, asyncio.CancelledError):
+                return
+            if frame is None:
+                return
+            message_id = frame.get("id")
+            connection.busy = True
+            command_name = "?"
+            try:
+                command = lookup_command(frame.get("cmd"))
+                command_name = command.name
+                params = command.validate(frame.get("params", {}))
+                handler = getattr(self, f"_cmd_{command.name}")
+                result = await handler(params, writer, message_id)
+                await self._send(
+                    writer, {"id": message_id, "ok": True, "result": result}
+                )
+                self._requests_total.labels(
+                    command=command_name, outcome="ok"
+                ).inc()
+            except asyncio.CancelledError:
+                raise
+            except Exception as error:
+                envelope = envelope_for(error)
+                self._requests_total.labels(
+                    command=command_name, outcome=envelope["kind"]
+                ).inc()
+                try:
+                    await self._send(
+                        writer,
+                        {"id": message_id, "ok": False, "error": envelope},
+                    )
+                except (ConnectionError, ProtocolError):
+                    return
+            finally:
+                connection.busy = False
+            if self._draining:
+                return
+
+    async def _send(self, writer: asyncio.StreamWriter, message: dict) -> None:
+        writer.write(encode_frame(message))
+        await writer.drain()
+
+    def _lock_for(self, tenant: str) -> asyncio.Lock:
+        lock = self._tenant_locks.get(tenant)
+        if lock is None:
+            lock = asyncio.Lock()
+            self._tenant_locks[tenant] = lock
+        return lock
+
+    async def _solve(self, tenant: str, token: Optional[str], fn):
+        """Run one service call for a tenant: auth, admit, lock, scope, thread.
+
+        ``fn`` receives the tenant's service and runs in a worker thread
+        under the tenant's lock, inside a
+        :func:`~repro.api.context.request_scope` whose identity lands on
+        the returned provenance.
+        """
+        self._registry.authenticate(tenant, token)
+        self._registry.acquire(tenant)
+        try:
+            service = self._registry.service(tenant)
+            async with self._lock_for(tenant):
+                with request_scope(
+                    request_id=f"req-{next(self._request_seq)}", tenant=tenant
+                ):
+                    return await asyncio.to_thread(fn, service)
+        finally:
+            self._registry.release(tenant)
+
+    # ------------------------------------------------------------------
+    # command handlers (one per COMMANDS entry)
+    # ------------------------------------------------------------------
+    async def _cmd_ping(self, params, writer, message_id) -> dict:
+        """Liveness check; also reports the library version."""
+        from repro import __version__
+
+        return {"pong": True, "version": __version__}
+
+    async def _cmd_create_schema(self, params, writer, message_id) -> dict:
+        """Register a tenant from an uploaded bipartite schema."""
+        graph = decode_schema(params["schema"])
+        record = self._registry.create(
+            params["tenant"],
+            graph,
+            config_overrides=params["config"],
+            limits=params["limits"],
+            token=params["token"],
+            exist_ok=params["exist_ok"],
+        )
+        return {
+            "tenant": record.name,
+            "vertices": len(record.graph.vertices()),
+            "edges": sum(1 for _ in record.graph.edges()),
+            "protected": record.token_hash is not None,
+        }
+
+    async def _cmd_drop_schema(self, params, writer, message_id) -> dict:
+        """Remove a tenant (authenticated when the tenant has a token)."""
+        tenant = params["tenant"]
+        self._registry.authenticate(tenant, params["token"], mutating=True)
+        self._drop_streams(tenant)
+        self._registry.drop(tenant)
+        self._tenant_locks.pop(tenant, None)
+        return {"dropped": tenant}
+
+    async def _cmd_list_schemas(self, params, writer, message_id) -> dict:
+        """List registered tenant names (coldest first)."""
+        return {"tenants": self._registry.names()}
+
+    async def _cmd_connect(self, params, writer, message_id) -> dict:
+        """Answer one connection request; the body is a wire-encoded result."""
+        tenant = params["tenant"]
+        terminals = [decode_value(t) for t in params["terminals"]]
+        self._registry.check_quota(tenant, terminals=len(terminals))
+        kwargs = {
+            "objective": params["objective"],
+            "policy": params["policy"],
+        }
+        if params["side"] is not None:
+            kwargs["side"] = params["side"]
+        if params["solver"] is not None:
+            kwargs["solver"] = params["solver"]
+        if params["tags"] is not None:
+            kwargs["tags"] = decode_value(params["tags"])
+        result = await self._solve(
+            tenant,
+            params["token"],
+            lambda service: service.connect(terminals, **kwargs),
+        )
+        return {"result": encode_wire_result(result)}
+
+    def _decode_batch_requests(self, tenant: str, params) -> list:
+        """Build the typed request list for ``batch`` (validating quotas)."""
+        entries = params["requests"]
+        self._registry.check_quota(tenant, requests=len(entries))
+        requests = []
+        for entry in entries:
+            if not isinstance(entry, dict) or "terminals" not in entry:
+                raise ProtocolError(
+                    "batch: each request must be an object with a "
+                    "'terminals' list"
+                )
+            terminals = [decode_value(t) for t in entry["terminals"]]
+            self._registry.check_quota(tenant, terminals=len(terminals))
+            kwargs = {
+                "objective": entry.get("objective", params["objective"]),
+                "policy": entry.get("policy", params["policy"]),
+                "side": entry.get("side", params["side"]),
+            }
+            if entry.get("solver") is not None:
+                kwargs["solver"] = entry["solver"]
+            if entry.get("tags") is not None:
+                kwargs["tags"] = decode_value(entry["tags"])
+            requests.append(ConnectionRequest.of(terminals, **kwargs))
+        return requests
+
+    async def _cmd_batch(self, params, writer, message_id) -> dict:
+        """Answer many requests over the tenant's schema in one call."""
+        tenant = params["tenant"]
+        requests = self._decode_batch_requests(tenant, params)
+        results = await self._solve(
+            tenant, params["token"], lambda service: service.batch(requests)
+        )
+        return {"results": [encode_wire_result(result) for result in results]}
+
+    async def _cmd_interpret(self, params, writer, message_id) -> dict:
+        """Batch over bare terminal lists (the ``batch_interpret`` surface)."""
+        tenant = params["tenant"]
+        queries = params["queries"]
+        self._registry.check_quota(tenant, requests=len(queries))
+        decoded = []
+        for query in queries:
+            if not isinstance(query, list):
+                raise ProtocolError(
+                    "interpret: each query must be a list of terminals"
+                )
+            terminals = [decode_value(t) for t in query]
+            self._registry.check_quota(tenant, terminals=len(terminals))
+            decoded.append(terminals)
+        objective = params["objective"]
+        side = params["side"]
+        results = await self._solve(
+            tenant,
+            params["token"],
+            lambda service: service.batch(
+                decoded, objective=objective, side=side
+            ),
+        )
+        return {"results": [encode_wire_result(result) for result in results]}
+
+    async def _cmd_mutate(self, params, writer, message_id) -> dict:
+        """Apply one transactional schema evolution (authenticated).
+
+        The edit list becomes a single
+        :class:`~repro.dynamic.editor.SchemaEditor` transaction: one
+        version bump, rollback on any failing edit.  The next query pays
+        the PR4 incremental rebind, not a full reclassification.  Live
+        enumeration streams for the tenant are dropped (their order is
+        only meaningful against the schema they started on); stateless
+        continuations resume against the *new* schema.
+        """
+        tenant = params["tenant"]
+        self._registry.authenticate(tenant, params["token"], mutating=True)
+        record = self._registry.record(tenant)
+        edits = params["edits"]
+
+        def apply(service):
+            with SchemaEditor(record.graph) as transaction:
+                for position, edit in enumerate(edits):
+                    _apply_edit(transaction, edit, position)
+            return transaction.delta
+
+        delta = await self._solve(tenant, params["token"], apply)
+        record.mutations += 1
+        self._drop_streams(tenant)
+        return {
+            "version": record.graph.mutation_version,
+            "delta": {
+                "added_vertices": len(delta.added_vertices),
+                "removed_vertices": len(delta.removed_vertices),
+                "added_edges": len(delta.added_edges),
+                "removed_edges": len(delta.removed_edges),
+            },
+        }
+
+    async def _cmd_enumerate(self, params, writer, message_id) -> dict:
+        """Stream one page of ranked connections; resumable via continuation.
+
+        Starting call: ``terminals`` (+ optional ``budget`` page size and
+        ``max_extra``).  Resuming call: ``continuation`` from a previous
+        footer.  Each yielded connection goes out as its own ``stream``
+        frame; the footer carries ``paused`` / ``exhausted`` and the next
+        continuation token (``null`` once exhausted).
+        """
+        tenant = params["tenant"]
+        token = params["token"]
+        if (params["terminals"] is None) == (params["continuation"] is None):
+            raise ProtocolError(
+                "enumerate: pass exactly one of 'terminals' (new stream) "
+                "or 'continuation' (resume)"
+            )
+        if params["continuation"] is not None:
+            return await self._resume_enumeration(
+                tenant, token, params, writer, message_id
+            )
+        encoded_terminals = params["terminals"]
+        terminals = [decode_value(t) for t in encoded_terminals]
+        self._registry.check_quota(tenant, terminals=len(terminals))
+        page = self._page_size(tenant, params["budget"])
+        max_extra = params["max_extra"]
+
+        def start(service):
+            stream = service.enumerate(
+                terminals, budget=page, max_extra=max_extra
+            )
+            return stream, stream.take(page)
+
+        stream, results = await self._solve(tenant, token, start)
+        sid = f"s{next(self._stream_seq)}"
+        return await self._finish_enumeration(
+            writer,
+            message_id,
+            tenant=tenant,
+            sid=sid,
+            stream=stream,
+            results=results,
+            encoded_terminals=encoded_terminals,
+            max_extra=max_extra,
+        )
+
+    async def _resume_enumeration(
+        self, tenant, token, params, writer, message_id
+    ) -> dict:
+        record = decode_continuation(params["continuation"])
+        if record["tenant"] != tenant:
+            raise AuthenticationError(
+                "continuation token was minted for a different tenant"
+            )
+        encoded_terminals = record["terminals"]
+        terminals = [decode_value(t) for t in encoded_terminals]
+        max_extra = record.get("max_extra")
+        skip = record["skip"]
+        sid = record["sid"]
+        page = self._page_size(tenant, params["budget"])
+        entry = self._streams.get(sid)
+        if (
+            entry is not None
+            and entry["tenant"] == tenant
+            and entry["stream"].yielded == skip
+        ):
+            # fast path: the paused stream is still live server-side
+            stream = entry["stream"]
+            self._registry.authenticate(tenant, token)
+            self._registry.acquire(tenant)
+            try:
+                async with self._lock_for(tenant):
+                    stream.extend_budget(page)
+                    with request_scope(
+                        request_id=f"req-{next(self._request_seq)}",
+                        tenant=tenant,
+                    ):
+                        results = await asyncio.to_thread(stream.take, page)
+            finally:
+                self._registry.release(tenant)
+        else:
+            # stateless path: rebuild and replay -- enumeration is
+            # deterministic, so ranks skip+1.. come out identical (this
+            # is what survives reconnects, eviction, and restarts)
+            self._streams.pop(sid, None)
+
+            def resume(service):
+                stream = service.enumerate(
+                    terminals, budget=skip + page, max_extra=max_extra
+                )
+                replayed = stream.take(skip)
+                if len(replayed) < skip:
+                    return stream, []
+                return stream, stream.take(page)
+
+            stream, results = await self._solve(tenant, token, resume)
+        return await self._finish_enumeration(
+            writer,
+            message_id,
+            tenant=tenant,
+            sid=sid,
+            stream=stream,
+            results=results,
+            encoded_terminals=encoded_terminals,
+            max_extra=max_extra,
+        )
+
+    async def _finish_enumeration(
+        self,
+        writer,
+        message_id,
+        *,
+        tenant,
+        sid,
+        stream,
+        results,
+        encoded_terminals,
+        max_extra,
+    ) -> dict:
+        for result in results:
+            await self._send(
+                writer,
+                {"id": message_id, "stream": encode_wire_result(result)},
+            )
+        continuation = None
+        if stream.paused and not stream.exhausted:
+            continuation = encode_continuation(
+                tenant=tenant,
+                terminals=encoded_terminals,
+                max_extra=max_extra,
+                skip=stream.yielded,
+                sid=sid,
+            )
+            self._streams[sid] = {
+                "tenant": tenant,
+                "stream": stream,
+            }
+            while len(self._streams) > MAX_LIVE_STREAMS:
+                # oldest first; stateless resume covers the evicted ones
+                self._streams.pop(next(iter(self._streams)))
+        else:
+            self._streams.pop(sid, None)
+        return {
+            "count": len(results),
+            "yielded": stream.yielded,
+            "paused": stream.paused,
+            "exhausted": stream.exhausted,
+            "continuation": continuation,
+        }
+
+    async def _cmd_stats(self, params, writer, message_id) -> dict:
+        """Registry and stream-table observability counters."""
+        return {
+            "registry": self._registry.stats(),
+            "live_streams": len(self._streams),
+            "draining": self._draining,
+        }
+
+    async def _cmd_metrics(self, params, writer, message_id) -> dict:
+        """The Prometheus exposition text, inline over RPC."""
+        return {"text": self._metrics.render_text()}
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _page_size(self, tenant: str, budget) -> int:
+        if budget is not None:
+            if budget < 1:
+                raise ProtocolError("enumerate: budget must be >= 1")
+            return budget
+        configured = self._registry.record(tenant).config.enumeration_budget
+        if configured is not None and configured > 0:
+            return configured
+        return DEFAULT_ENUMERATION_PAGE
+
+    def _drop_streams(self, tenant: str) -> None:
+        for sid in [
+            sid
+            for sid, entry in self._streams.items()
+            if entry["tenant"] == tenant
+        ]:
+            self._streams.pop(sid, None)
+
+    # ------------------------------------------------------------------
+    # metrics HTTP endpoint
+    # ------------------------------------------------------------------
+    async def _on_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve one minimal HTTP exchange: /metrics, /healthz, else 404."""
+        try:
+            request_line = await reader.readline()
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.decode("latin-1", "replace").split()
+            method = parts[0] if parts else ""
+            path = parts[1] if len(parts) > 1 else "/"
+            if method != "GET":
+                status, ctype, body = (
+                    "405 Method Not Allowed",
+                    "text/plain; charset=utf-8",
+                    b"method not allowed\n",
+                )
+            elif path == "/metrics":
+                status = "200 OK"
+                ctype = "text/plain; version=0.0.4; charset=utf-8"
+                body = self._metrics.render_text().encode("utf-8")
+            elif path == "/healthz":
+                status, ctype = "200 OK", "text/plain; charset=utf-8"
+                body = b"draining\n" if self._draining else b"ok\n"
+            else:
+                status, ctype, body = (
+                    "404 Not Found",
+                    "text/plain; charset=utf-8",
+                    b"not found\n",
+                )
+            writer.write(
+                (
+                    f"HTTP/1.0 {status}\r\n"
+                    f"Content-Type: {ctype}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode("latin-1")
+                + body
+            )
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+
+
+def _apply_edit(transaction: SchemaEditor, edit, position: int) -> None:
+    """Apply one wire edit record to an open transaction."""
+    if not isinstance(edit, dict) or "op" not in edit:
+        raise ProtocolError(
+            f"mutate: edit #{position} must be an object with an 'op'"
+        )
+    op = edit["op"]
+    keys = set(edit) - {"op"}
+    if op == "add_vertex":
+        if not {"vertex"} <= keys or keys - {"vertex", "side"}:
+            raise ProtocolError(
+                f"mutate: edit #{position} (add_vertex) takes "
+                "'vertex' and optional 'side'"
+            )
+        transaction.add_vertex(
+            decode_value(edit["vertex"]), side=edit.get("side")
+        )
+    elif op == "remove_vertex":
+        if keys != {"vertex"}:
+            raise ProtocolError(
+                f"mutate: edit #{position} (remove_vertex) takes 'vertex'"
+            )
+        transaction.remove_vertex(decode_value(edit["vertex"]))
+    elif op in ("add_edge", "remove_edge"):
+        if keys != {"u", "v"}:
+            raise ProtocolError(
+                f"mutate: edit #{position} ({op}) takes 'u' and 'v'"
+            )
+        method = getattr(transaction, op)
+        method(decode_value(edit["u"]), decode_value(edit["v"]))
+    else:
+        raise ProtocolError(
+            f"mutate: edit #{position} has unknown op {op!r}; accepted: "
+            "add_vertex / remove_vertex / add_edge / remove_edge"
+        )
+
+
+__all__ = ["ReproServer", "DEFAULT_ENUMERATION_PAGE", "MAX_LIVE_STREAMS"]

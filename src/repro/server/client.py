@@ -1,0 +1,300 @@
+"""Minimal blocking client for the repro connection server.
+
+:class:`ReproClient` is the reference implementation of the wire
+protocol from the *client* side -- a plain blocking socket speaking the
+length-prefixed JSON frames of :mod:`repro.server.protocol`, used by the
+test suite, the CI smoke session and the examples.  It stays deliberately
+thin: requests go out with vertex labels wire-encoded
+(:func:`~repro.server.codec.encode_value`), responses come back as the
+raw JSON payloads the server sent -- decode result payloads into full
+:class:`~repro.api.result.ConnectionResult` objects with
+:func:`~repro.server.codec.decode_wire_result` when you hold the schema.
+
+Error envelopes raise :class:`~repro.server.errors.RemoteError`, whose
+``kind`` mirrors the server's typed vocabulary, so remote failures are
+handled exactly like local ones.
+
+Examples
+--------
+::
+
+    with ReproClient(port=7463) as client:
+        client.create_schema("acme", graph)
+        answer = client.connect("acme", ["A", "B"])
+        page = client.enumerate("acme", ["A", "B"], budget=3)
+        more = client.enumerate("acme", continuation=page["continuation"])
+"""
+
+from __future__ import annotations
+
+import http.client
+import itertools
+import json
+import socket
+import struct
+from typing import Any, Iterable, List, Optional
+
+from repro.graphs.bipartite import BipartiteGraph
+from repro.server.codec import encode_schema, encode_value
+from repro.server.errors import ProtocolError, RemoteError
+
+_LENGTH = struct.Struct("!I")
+
+
+class ReproClient:
+    """Blocking JSON-over-TCP client (context-manager friendly)."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 7463, timeout: float = 30.0
+    ) -> None:
+        """Connect immediately; ``timeout`` bounds every socket operation."""
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._seq = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ReproClient":
+        """Return ``self`` for ``with`` blocks."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Close the socket on scope exit."""
+        self.close()
+
+    def _recv_exactly(self, count: int) -> bytes:
+        chunks = []
+        while count:
+            chunk = self._sock.recv(count)
+            if not chunk:
+                raise ProtocolError("server closed the connection mid-frame")
+            chunks.append(chunk)
+            count -= len(chunk)
+        return b"".join(chunks)
+
+    def _read_frame(self) -> dict:
+        (length,) = _LENGTH.unpack(self._recv_exactly(_LENGTH.size))
+        return json.loads(self._recv_exactly(length).decode("utf-8"))
+
+    def call(self, command: str, **params) -> dict:
+        """Send one command and return its result payload.
+
+        ``None``-valued parameters are omitted (server defaults apply).
+        Interleaved ``stream`` frames are collected into the returned
+        payload under ``"results"``.  Error envelopes raise
+        :class:`RemoteError`.
+        """
+        message_id = next(self._seq)
+        payload = json.dumps(
+            {
+                "id": message_id,
+                "cmd": command,
+                "params": {
+                    key: value
+                    for key, value in params.items()
+                    if value is not None
+                },
+            },
+            separators=(",", ":"),
+        ).encode("utf-8")
+        self._sock.sendall(_LENGTH.pack(len(payload)) + payload)
+        streamed: List[dict] = []
+        while True:
+            frame = self._read_frame()
+            if frame.get("id") != message_id:
+                raise ProtocolError(
+                    f"response id {frame.get('id')!r} does not match "
+                    f"request {message_id}"
+                )
+            if "stream" in frame:
+                streamed.append(frame["stream"])
+                continue
+            if frame.get("ok"):
+                result = frame.get("result") or {}
+                if streamed:
+                    result = {**result, "results": streamed}
+                return result
+            error = frame.get("error") or {}
+            raise RemoteError(
+                error.get("kind", "internal"),
+                error.get("message", "unknown server error"),
+                error.get("type", ""),
+            )
+
+    # ------------------------------------------------------------------
+    # convenience wrappers
+    # ------------------------------------------------------------------
+    def ping(self) -> dict:
+        """Liveness check."""
+        return self.call("ping")
+
+    def create_schema(
+        self,
+        tenant: str,
+        schema,
+        *,
+        config: Optional[dict] = None,
+        limits: Optional[dict] = None,
+        token: Optional[str] = None,
+        exist_ok: bool = False,
+    ) -> dict:
+        """Register a tenant; ``schema`` is a BipartiteGraph or a wire dict."""
+        payload = (
+            encode_schema(schema)
+            if isinstance(schema, BipartiteGraph)
+            else schema
+        )
+        return self.call(
+            "create_schema",
+            tenant=tenant,
+            schema=payload,
+            config=config,
+            limits=limits,
+            token=token,
+            exist_ok=exist_ok or None,
+        )
+
+    def drop_schema(self, tenant: str, *, token: Optional[str] = None) -> dict:
+        """Remove a tenant."""
+        return self.call("drop_schema", tenant=tenant, token=token)
+
+    def list_schemas(self) -> List[str]:
+        """Return the registered tenant names."""
+        return self.call("list_schemas")["tenants"]
+
+    def connect(
+        self,
+        tenant: str,
+        terminals: Iterable[Any],
+        *,
+        token: Optional[str] = None,
+        **kwargs,
+    ) -> dict:
+        """Answer one request; returns the wire result payload."""
+        return self.call(
+            "connect",
+            tenant=tenant,
+            token=token,
+            terminals=[encode_value(t) for t in terminals],
+            **kwargs,
+        )["result"]
+
+    def batch(
+        self,
+        tenant: str,
+        requests: Iterable[dict],
+        *,
+        token: Optional[str] = None,
+        **kwargs,
+    ) -> List[dict]:
+        """Answer many requests; each entry is ``{"terminals": [...], ...}``."""
+        encoded = []
+        for entry in requests:
+            record = dict(entry)
+            record["terminals"] = [
+                encode_value(t) for t in record.get("terminals", ())
+            ]
+            encoded.append(record)
+        return self.call(
+            "batch", tenant=tenant, token=token, requests=encoded, **kwargs
+        )["results"]
+
+    def interpret(
+        self,
+        tenant: str,
+        queries: Iterable[Iterable[Any]],
+        *,
+        token: Optional[str] = None,
+        **kwargs,
+    ) -> List[dict]:
+        """Batch over bare terminal lists."""
+        return self.call(
+            "interpret",
+            tenant=tenant,
+            token=token,
+            queries=[[encode_value(t) for t in query] for query in queries],
+            **kwargs,
+        )["results"]
+
+    def mutate(
+        self, tenant: str, edits: List[dict], *, token: Optional[str] = None
+    ) -> dict:
+        """Apply one transactional schema evolution."""
+        encoded = []
+        for edit in edits:
+            record = dict(edit)
+            for key in ("vertex", "u", "v"):
+                if key in record:
+                    record[key] = encode_value(record[key])
+            encoded.append(record)
+        return self.call("mutate", tenant=tenant, token=token, edits=encoded)
+
+    def enumerate(
+        self,
+        tenant: str,
+        terminals: Optional[Iterable[Any]] = None,
+        *,
+        budget: Optional[int] = None,
+        max_extra: Optional[int] = None,
+        continuation: Optional[str] = None,
+        token: Optional[str] = None,
+    ) -> dict:
+        """Pull one page of ranked connections (new stream or resume).
+
+        The returned payload carries the page under ``"results"`` plus
+        the footer fields (``paused`` / ``exhausted`` /
+        ``continuation``).
+        """
+        return self.call(
+            "enumerate",
+            tenant=tenant,
+            token=token,
+            terminals=(
+                None
+                if terminals is None
+                else [encode_value(t) for t in terminals]
+            ),
+            budget=budget,
+            max_extra=max_extra,
+            continuation=continuation,
+        )
+
+    def stats(self) -> dict:
+        """Server/registry observability counters."""
+        return self.call("stats")
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition text, over RPC."""
+        return self.call("metrics")["text"]
+
+
+def fetch_metrics(
+    port: int, host: str = "127.0.0.1", path: str = "/metrics", timeout: float = 10.0
+) -> str:
+    """Fetch the server's metrics endpoint over plain HTTP.
+
+    Returns the exposition text; raises :class:`RemoteError` on any
+    non-200 status.
+    """
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        body = response.read().decode("utf-8")
+        if response.status != 200:
+            raise RemoteError(
+                "http", f"GET {path} returned {response.status}: {body[:200]}"
+            )
+        return body
+    finally:
+        connection.close()
+
+
+__all__ = ["ReproClient", "fetch_metrics"]

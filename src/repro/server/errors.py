@@ -1,0 +1,109 @@
+"""Typed error envelopes: every server failure has a ``kind`` on the wire.
+
+The server promises clients a *closed* error vocabulary: whatever goes
+wrong -- a malformed frame, an unknown tenant, a rejected credential, an
+admission-control bounce, or a library error raised by the service
+itself -- the response envelope carries a machine-readable ``kind``
+drawn from the table in ``docs/server.md``, plus the exception's type
+name and message for humans.  :func:`envelope_for` is the single mapping
+from Python exceptions to that vocabulary; the client raises
+:class:`RemoteError` carrying the same fields, so a remote failure reads
+like a local one.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import (
+    DisconnectedTerminalsError,
+    NotApplicableError,
+    ReproError,
+    ValidationError,
+)
+
+
+class ServerError(ReproError):
+    """Base class for server-side failures; ``kind`` names the envelope kind."""
+
+    kind = "internal"
+
+
+class ProtocolError(ServerError):
+    """A frame or command the server cannot parse or validate."""
+
+    kind = "protocol"
+
+
+class UnknownTenantError(ServerError):
+    """The named tenant does not exist in the :class:`SchemaRegistry`."""
+
+    kind = "unknown-tenant"
+
+
+class TenantExistsError(ServerError):
+    """``create_schema`` for a name that is already registered."""
+
+    kind = "tenant-exists"
+
+
+class AuthenticationError(ServerError):
+    """A missing or mismatched tenant token on an authenticated RPC."""
+
+    kind = "auth"
+
+
+class AdmissionError(ServerError):
+    """The tenant's in-flight request limit is reached; retry later."""
+
+    kind = "admission"
+
+
+class QuotaError(ServerError):
+    """The request exceeds the tenant's size quotas (batch size, terminals)."""
+
+    kind = "quota"
+
+
+class RemoteError(ReproError):
+    """Client-side mirror of a server error envelope.
+
+    Attributes
+    ----------
+    kind:
+        The envelope's machine-readable kind (``"validation"``,
+        ``"admission"``, ...).
+    remote_type:
+        The server-side exception's class name.
+    """
+
+    def __init__(self, kind: str, message: str, remote_type: str = "") -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.remote_type = remote_type
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {super().__str__()}"
+
+
+def envelope_for(error: BaseException) -> dict:
+    """Return the typed error envelope for one exception.
+
+    Library errors keep their taxonomy (``validation`` /
+    ``not-applicable`` / ``infeasible``); :class:`ServerError` subclasses
+    name their own kind; anything else is ``internal`` -- the client can
+    always branch on ``kind`` without parsing messages.
+    """
+    if isinstance(error, ServerError):
+        kind = error.kind
+    elif isinstance(error, ValidationError):
+        kind = "validation"
+    elif isinstance(error, NotApplicableError):
+        kind = "not-applicable"
+    elif isinstance(error, DisconnectedTerminalsError):
+        kind = "infeasible"
+    else:
+        kind = "internal"
+    return {
+        "kind": kind,
+        "type": type(error).__name__,
+        "message": str(error),
+    }

@@ -550,7 +550,7 @@ class TestPackaging:
     def test_version_and_exports(self):
         import repro
 
-        assert repro.__version__ == "1.6.0"
+        assert repro.__version__ == "1.7.0"
         for name in (
             "BlockClassifier",
             "ConnectionRequest",
@@ -729,3 +729,82 @@ class TestSchemaIdentityHardening:
         assert first.provenance.result_cache is None
         assert again.provenance.result_cache is None
         assert not any(tmp_path.rglob("*.pkl"))
+
+
+class TestRequestContext:
+    """Span-like request identity on provenance (repro.api.context)."""
+
+    def _graph(self):
+        return BipartiteGraph(
+            left=["A", "B"], right=[1, 2],
+            edges=[("A", 1), ("B", 1), ("B", 2)],
+        )
+
+    def test_unscoped_provenance_has_no_identity(self):
+        result = ConnectionService(schema=self._graph()).connect(["A", 2])
+        assert result.provenance.request_id is None
+        assert result.provenance.tenant is None
+        assert result.provenance.phases is None
+        record = result.to_dict()
+        assert "request_id" not in record["provenance"]
+        assert "tenant" not in record["provenance"]
+
+    def test_scoped_provenance_carries_identity_and_phases(self):
+        from repro.api import request_scope
+
+        service = ConnectionService(schema=self._graph())
+        with request_scope(request_id="req-42", tenant="acme"):
+            result = service.connect(["A", 2])
+        assert result.provenance.request_id == "req-42"
+        assert result.provenance.tenant == "acme"
+        assert set(result.provenance.phases) >= {"context", "plan", "solve"}
+        assert all(ms >= 0 for ms in result.provenance.phases.values())
+        record = result.to_dict()
+        assert record["provenance"]["tenant"] == "acme"
+        # identity survives timing-stripped fixtures, phases do not
+        lean = result.to_dict(include_timing=False)
+        assert "phases" not in lean["provenance"]
+        assert lean["provenance"]["request_id"] == "req-42"
+
+    def test_current_request_and_default_ids(self):
+        from repro.api import current_request, request_scope
+
+        assert current_request() is None
+        with request_scope(tenant="t") as scope:
+            assert current_request() is scope
+            assert scope.request_id  # generated when not supplied
+            with request_scope(request_id="inner") as nested:
+                assert current_request() is nested
+            assert current_request() is scope
+        assert current_request() is None
+
+    def test_phases_accumulate_within_a_scope(self):
+        from repro.api import request_scope
+
+        service = ConnectionService(schema=self._graph())
+        with request_scope(request_id="r", tenant="t") as scope:
+            service.connect(["A", 2])
+            first = scope.phases_ms()["solve"]
+            service.connect(["B", 2])
+            assert scope.phases_ms()["solve"] >= first
+
+    def test_tenant_label_on_query_counter(self):
+        from repro.api import request_scope
+        from repro.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        service = ConnectionService(
+            schema=self._graph(), config=ServiceConfig(metrics=registry)
+        )
+        service.connect(["A", 2])
+        with request_scope(tenant="acme"):
+            service.connect(["B", 2])
+        text = registry.render_text()
+        lines = [
+            line for line in text.splitlines()
+            if line.startswith("repro_queries_total{")
+        ]
+        tenants = sorted(
+            line.split('tenant="')[1].split('"')[0] for line in lines
+        )
+        assert tenants == ["", "acme"]

@@ -113,6 +113,21 @@ def test_required_coverage_is_present():
     # and all three perf-adjacent guides cross-link the metrics layer
     for page in ("performance.md", "runtime.md", "dynamic.md"):
         assert "observability.md" in corpus[page], f"{page} misses the cross-link"
+    # server guide: protocol, tenancy, resume, drain, exposition
+    for needle in (
+        "ReproServer",
+        "SchemaRegistry",
+        "python -m repro serve",
+        "continuation token",
+        "disk-warm",
+        "drain",
+        "repro_queries_total",
+        "/metrics",
+    ):
+        assert needle in corpus["server.md"], f"server.md misses {needle}"
+    # the server guide is reachable from the layers it fronts
+    for page in ("architecture.md", "runtime.md", "observability.md", "enumeration.md"):
+        assert "server.md" in corpus[page], f"{page} misses the server cross-link"
     # migration note and enumeration contract
     assert "MinimalConnectionFinder" in corpus["migration.md"]
     assert "extend_budget" in corpus["enumeration.md"]

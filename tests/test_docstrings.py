@@ -2,7 +2,8 @@
 
 CI runs ruff's pydocstyle rules (``D10x``, see ``pyproject.toml``) over
 ``repro.api``, ``repro.dynamic``, ``repro.kernels``, ``repro.metrics``,
-``repro.engine.batch`` and ``repro.runtime``; this test enforces the
+``repro.engine.batch``, ``repro.runtime`` and ``repro.server``; this
+test enforces the
 same contract locally without
 needing ruff installed: every public module, class, function, method and
 property in those packages must carry a non-empty docstring.
@@ -24,6 +25,7 @@ TARGETS = sorted(
     + list((SRC / "kernels").glob("*.py"))
     + list((SRC / "metrics").glob("*.py"))
     + list((SRC / "runtime").glob("*.py"))
+    + list((SRC / "server").glob("*.py"))
     + [SRC / "engine" / "batch.py"]
 )
 
@@ -60,5 +62,5 @@ def test_public_surface_is_documented(path):
 
 def test_target_list_is_nonempty():
     # api (6) + dynamic (4) + kernels (4) + metrics (3) + runtime (6)
-    # + engine/batch
-    assert len(TARGETS) >= 23
+    # + server (7) + engine/batch
+    assert len(TARGETS) >= 30

@@ -298,3 +298,41 @@ def test_executor_constructor_validation():
         ParallelExecutor(workers=2, shard_size=0)
     with pytest.raises(ValidationError):
         ParallelExecutor(service=ConnectionService(), config=None, schema=object())
+
+
+# ----------------------------------------------------------------------
+# worker metrics ride the shard envelope back to the parent
+# ----------------------------------------------------------------------
+def test_worker_metrics_merge_into_parent_registry():
+    from repro.datasets.generators import random_62_chordal_graph, random_terminals
+    from repro.metrics import MetricsRegistry
+    from repro.api import ServiceConfig
+
+    graph = random_62_chordal_graph(6, rng=3)
+    registry = MetricsRegistry()
+    queries = [
+        sorted(random_terminals(graph, 2, rng=seed), key=repr)
+        for seed in range(8)
+    ]
+    with ParallelExecutor(
+        workers=2, shard_size=2,
+        service=ConnectionService(
+            schema=graph, config=ServiceConfig(metrics=registry)
+        ),
+    ) as pool:
+        pool.batch(queries)
+        observed = _query_count(registry)
+        # every query answered by a worker lands in the parent registry
+        assert observed == len(queries)
+        # a second batch adds exactly its own count: per-batch deltas,
+        # no double-counting from the workers' long-lived registries
+        pool.batch(queries)
+        assert _query_count(registry) == 2 * len(queries)
+
+
+def _query_count(registry) -> float:
+    total = 0.0
+    for family in registry.snapshot(kinds=("counter",))["families"]:
+        if family["name"] == "repro_queries_total":
+            total += sum(state for _, state in family["children"])
+    return total
