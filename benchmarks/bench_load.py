@@ -1,0 +1,94 @@
+"""Load-harness benchmark: in-process replay wall time and soak cycle cost.
+
+The load harness is itself on the hot path of CI (the ``python -m repro
+load --smoke`` acceptance step), so its own cost belongs in the
+committed trajectory.  **LD1** records the wall time of an un-paced
+in-process replay of a smoke-scaled mixed-traffic plan -- every op
+kind, both deliberate-error paths, two tenant populations -- with the
+serial verify oracle re-run and the checksums asserted equal.  **LD2**
+records the cost of one full soak pass (churn + query + enumerate
+cycles with resource probes) and asserts no probe was flagged.
+
+Both cases time explicitly with ``perf_counter`` (not the
+pytest-benchmark stats), so they record real wall times under CI's
+``--benchmark-disable`` runs too.
+
+Set ``REPRO_BENCH_SMOKE=1`` for the scaled-down CI variant: same code
+paths, smaller request count and fewer soak cycles.
+"""
+
+import copy
+import os
+from time import perf_counter
+
+from conftest import record
+
+from repro.load import LoadSpec, run_load
+from repro.load.runner import SMOKE_SPEC
+from repro.load.soak import run_soak
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+
+def _spec(requests, cycles):
+    """A smoke-derived spec scaled to ``requests`` arrivals / ``cycles``."""
+    raw = copy.deepcopy(SMOKE_SPEC)
+    raw["name"] = "bench-load"
+    raw["arrival"]["requests"] = requests
+    raw["soak"]["cycles"] = cycles
+    return LoadSpec.from_dict(raw)
+
+
+def test_load_replay_in_process(benchmark):
+    """LD1: un-paced in-process replay + serial verify, wall-clock."""
+    requests = 24 if SMOKE else 120
+    spec = _spec(requests, cycles=2)
+
+    started = perf_counter()
+    report = run_load(spec, mode="in-process", pace=False, soak=False)
+    wall_seconds = perf_counter() - started
+
+    assert report.requests == requests
+    assert report.checksum and report.checksum == report.oracle_checksum
+    assert report.unexpected_errors == 0
+    assert report.ok(), report.budget_violations
+    benchmark.pedantic(
+        run_load,
+        args=(spec,),
+        kwargs={"mode": "in-process", "pace": False, "soak": False},
+        rounds=1,
+        iterations=1,
+    )
+    record(
+        benchmark,
+        experiment="LD1",
+        n=requests,
+        wall_seconds=round(wall_seconds, 6),
+        achieved_rate=round(report.achieved_rate, 2),
+        unexpected_errors=report.unexpected_errors,
+        verify="match",
+    )
+
+
+def test_load_soak_cycles(benchmark):
+    """LD2: one full soak pass (churn + query + enumerate + probes)."""
+    cycles = 2 if SMOKE else 4
+    spec = _spec(requests=12, cycles=cycles)
+
+    started = perf_counter()
+    soak_report = run_soak(spec)
+    wall_seconds = perf_counter() - started
+
+    assert soak_report.cycles == cycles
+    assert soak_report.ok(), soak_report.leaks
+    probes = {name for name, _ in soak_report.samples}
+    assert {"schema_contexts", "oracle_rows", "disk_bytes"} <= probes
+    benchmark.pedantic(run_soak, args=(spec,), rounds=1, iterations=1)
+    record(
+        benchmark,
+        experiment="LD2",
+        n=cycles,
+        wall_seconds=round(wall_seconds, 6),
+        probes=sorted(probes),
+        leaks=0,
+    )

@@ -18,7 +18,15 @@ Conventions for the normalised fields: pass ``vertices=...`` (or
 ``n=...``) for the instance size, ``speedup=...`` for the headline
 speedup, and either ``wall_seconds=...`` or any ``*_seconds`` values --
 the first ``*_seconds`` key (in recording order) becomes ``wall_ms``
-when no explicit ``wall_seconds`` is given.
+when no explicit ``wall_seconds`` is given.  When a case records no
+``*_seconds`` at all, :func:`record` falls back to the pytest-benchmark
+median of the benchmarked callable, so every case lands in the
+trajectory with a real wall time; a case that genuinely has nothing to
+time must say so with ``record(..., ungated=True)``, which stamps the
+entry ``"ungated": true`` with ``wall_ms = null`` (excluded from the
+``benchmarks.history`` gate by construction).  A silent ``wall_ms:
+null`` is no longer possible -- it used to drop the case from the
+regression gate without anyone deciding that.
 """
 
 from __future__ import annotations
@@ -81,11 +89,52 @@ def _normalise(info: dict) -> dict:
     return entry
 
 
-def record(benchmark, **info):
-    """Attach experiment metadata to a benchmark result and the trajectory."""
+def _benchmark_wall_seconds(benchmark):
+    """Median seconds measured by the pytest-benchmark fixture, if any.
+
+    Defensive by design: under ``--benchmark-disable`` (or a stub object
+    in unit tests) there are no stats, and this returns ``None`` rather
+    than guessing.
+    """
+    try:
+        stats = benchmark.stats
+        inner = getattr(stats, "stats", stats)
+        value = inner.median
+    except (AttributeError, TypeError, ZeroDivisionError, ValueError):
+        return None
+    if isinstance(value, (int, float)) and value > 0:
+        return float(value)
+    return None
+
+
+def record(benchmark, *, ungated=False, **info):
+    """Attach experiment metadata to a benchmark result and the trajectory.
+
+    Every entry must carry a wall time so the ``benchmarks.history``
+    regression gate can see it: explicit ``wall_seconds``/``*_seconds``
+    info wins, else the pytest-benchmark median of the benchmarked
+    callable is used.  A case with genuinely nothing to time opts out
+    with ``ungated=True`` (recorded with ``wall_ms = null`` and an
+    ``"ungated": true`` marker); recording a case with no wall time
+    *without* saying ``ungated`` raises ``ValueError`` -- that silent
+    combination used to drop cases from the gate unnoticed.
+    """
     for key, value in info.items():
         benchmark.extra_info[key] = value
-    _RESULTS.append(_normalise(info))
+    entry = _normalise(info)
+    if ungated:
+        entry["wall_ms"] = None
+        entry["ungated"] = True
+    elif entry["wall_ms"] is None:
+        wall = _benchmark_wall_seconds(benchmark)
+        if wall is None:
+            raise ValueError(
+                f"benchmark case {entry['name']!r} recorded no wall time "
+                "(no *_seconds info and no pytest-benchmark stats); pass "
+                "wall_seconds=... or declare record(..., ungated=True)"
+            )
+        entry["wall_ms"] = round(wall * 1000.0, 3)
+    _RESULTS.append(entry)
 
 
 def write_results(path, results, complete, smoke=False):

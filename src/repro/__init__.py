@@ -104,6 +104,7 @@ from repro.exceptions import (
 from repro.dynamic import BlockClassifier, EditOp, SchemaDelta, SchemaEditor
 from repro.engine import InterpretationEngine, batch_interpret, schema_digest
 from repro.kernels import DistanceOracle, grouped_bfs_levels, grouped_bfs_parents
+from repro.load import LoadReport, LoadSpec, run_load
 from repro.metrics import MetricsRegistry, NullRegistry, default_metrics
 from repro.graphs import (
     BipartiteGraph,
@@ -152,7 +153,7 @@ from repro.steiner import (
     steiner_tree_dreyfus_wagner,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "BipartiteGraph",
@@ -177,6 +178,8 @@ __all__ = [
     "HypergraphError",
     "IndexedGraph",
     "InterpretationEngine",
+    "LoadReport",
+    "LoadSpec",
     "MetricsRegistry",
     "MinimalConnectionFinder",
     "NotApplicableError",
@@ -228,6 +231,7 @@ __all__ = [
     "minimum_cover_size",
     "pseudo_steiner_algorithm1",
     "pseudo_steiner_bruteforce",
+    "run_load",
     "run_workload",
     "schema_digest",
     "steiner_algorithm2",

@@ -241,6 +241,37 @@ class ConnectionService:
             stats["disk"] = disk.stats()
         return stats
 
+    def resource_stats(self) -> dict:
+        """Return the service's *capacity* numbers for leak monitoring.
+
+        Unlike :meth:`cache_stats` (traffic counters that grow forever
+        by design), every value here measures something currently
+        *held*: cached schema contexts, distance-oracle BFS rows, and
+        persistent-store bytes.  Under a steady workload each must reach
+        a plateau; the soak monitor (:mod:`repro.load.soak`) asserts
+        exactly that.
+        """
+        cache = self._engine.cache
+        contexts = {id(ctx): ctx for ctx in cache._contexts.values()}
+        bound = self._bound_context
+        if bound is not None:
+            # the bound-schema memo bypasses the fingerprint LRU, so its
+            # context (and oracle) may not be in the cache at all
+            contexts.setdefault(id(bound), bound)
+        seen_oracles: set = set()
+        rows = 0
+        for context in contexts.values():
+            oracle = getattr(context, "_oracle", None)
+            if oracle is not None and id(oracle) not in seen_oracles:
+                seen_oracles.add(id(oracle))
+                rows += oracle.rows_cached()
+        disk = self._disk_cache()
+        return {
+            "schema_contexts": len(contexts),
+            "oracle_rows": rows,
+            "disk_bytes": disk.size_bytes() if disk is not None else 0,
+        }
+
     # ------------------------------------------------------------------
     # persistent layer (opt-in via config.cache_dir)
     # ------------------------------------------------------------------

@@ -82,6 +82,10 @@ class LRUCache:
     def __contains__(self, key: Hashable) -> bool:
         return key in self._data
 
+    def values(self) -> List:
+        """Return the cached values, coldest first (no recency effect)."""
+        return list(self._data.values())
+
 
 def vertex_token(vertex: Vertex) -> Tuple[str, str]:
     """Return the ``(type, repr)`` token structural keys identify a vertex by.
@@ -649,6 +653,23 @@ class SchemaCache:
             "rebind_fallbacks": self.rebind_fallbacks,
             "distance_oracle": self.oracle_stats.as_dict(),
         }
+
+    def oracle_rows(self) -> int:
+        """Total BFS rows held by the cached contexts' distance oracles.
+
+        A *capacity* number, not a traffic counter: it is what a leak
+        monitor (:mod:`repro.load.soak`) watches for unbounded growth.
+        Contexts whose oracle was never forced stay at zero rows; shared
+        oracles (``apply_delta`` chains) are counted once.
+        """
+        seen: set = set()
+        rows = 0
+        for context in self._contexts.values():
+            oracle = getattr(context, "_oracle", None)
+            if oracle is not None and id(oracle) not in seen:
+                seen.add(id(oracle))
+                rows += oracle.rows_cached()
+        return rows
 
     def __len__(self) -> int:
         return len(self._contexts)

@@ -1,0 +1,239 @@
+"""Deterministic request plans: the schedule a load run executes.
+
+:func:`build_plan` compiles a :class:`~repro.load.spec.LoadSpec` into a
+flat list of :class:`PlannedOp` -- one per operation, each carrying its
+arrival offset, target tenant, fully materialised payload (terminal
+labels, batch entries, edit lists) and, for deliberate error traffic,
+the error kind the server is *expected* to answer with.  Everything is
+drawn from :class:`random.Random` instances seeded off the spec: the
+same spec yields the same plan, byte for byte, which is what makes
+verify-mode checksums comparable across runs, client counts, and
+transports.
+
+Three design rules keep concurrent execution deterministic:
+
+* **Churn and query populations are disjoint.**  When the profile mixes
+  ``mutate`` with query traffic, mutations go to *tokened* tenants and
+  verified query ops to *token-free* tenants -- answers on a schema
+  under concurrent mutation are not checksum-stable (enumeration tie
+  order depends on the vertex set), so the planner never races the two
+  on one tenant.
+* **Mutations are structure-preserving churn.**  Every ``mutate`` op
+  grows a pendant leaf (and later prunes a previously grown one), so a
+  churn tenant's schema stays valid and size-bounded over arbitrarily
+  long runs -- while the incremental rebind machinery
+  (:mod:`repro.dynamic`) still pays for every edit.
+* **Writes are ordered per tenant.**  Each ``mutate`` op carries a
+  ``write_seq``; executors gate on it so a tenant's mutations apply in
+  plan order regardless of which client thread picked them up (a prune
+  references a leaf grown by an earlier op, and the reported schema
+  version is only deterministic under a fixed apply order).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.datasets.generators import random_terminals
+from repro.graphs.bipartite import BipartiteGraph
+from repro.load.spec import LoadSpec
+
+#: Label prefix for leaves grown by mutation traffic; tuples survive the
+#: wire codec losslessly and can never collide with generator vertices.
+LEAF_PREFIX = "load-leaf"
+
+
+@dataclass(frozen=True)
+class PlannedOp:
+    """One scheduled operation of a load plan.
+
+    Attributes
+    ----------
+    index:
+        Plan position; the verify checksum is ordered by it.
+    at:
+        Arrival offset in seconds from the run's start (pacing only --
+        the value never influences payloads or expected answers).
+    tenant:
+        Target tenant name.
+    op:
+        One of :data:`~repro.load.spec.PROFILE_OPS`.
+    payload:
+        Op-specific materialised arguments (see :mod:`repro.load.clients`).
+    expect_error:
+        The typed error kind deliberate error traffic must be answered
+        with (``None`` for regular traffic).
+    write_seq:
+        Per-tenant mutation order (``None`` for non-mutating ops).
+    """
+
+    index: int
+    at: float
+    tenant: str
+    op: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    expect_error: Optional[str] = None
+    write_seq: Optional[int] = None
+
+
+def arrival_offsets(schedule: str, rate: float, count: int, seed: int) -> List[float]:
+    """Return ``count`` arrival offsets for one open-loop schedule.
+
+    ``fixed`` spaces arrivals evenly at ``1 / rate``; ``poisson`` draws
+    exponential gaps from a dedicated RNG.  Offsets are non-decreasing
+    and start at 0 -- the first request goes out immediately.
+    """
+    if schedule == "fixed":
+        return [index / rate for index in range(count)]
+    rng = random.Random(seed)
+    offsets: List[float] = []
+    clock = 0.0
+    for _ in range(count):
+        offsets.append(clock)
+        clock += rng.expovariate(rate)
+    return offsets
+
+
+def _weighted_ops(spec: LoadSpec, rng: random.Random, count: int) -> List[str]:
+    """Draw the op sequence from the profile weights (order-stable)."""
+    population: List[str] = []
+    weights: List[int] = []
+    for op, weight in spec.profile:
+        if weight > 0:
+            population.append(op)
+            weights.append(weight)
+    return rng.choices(population, weights=weights, k=count)
+
+
+def _leaf_edits(
+    graph: BipartiteGraph,
+    tenant: str,
+    rng: random.Random,
+    grown: List[Any],
+    leaf_counter: List[int],
+) -> List[Dict[str, Any]]:
+    """Build one answer-preserving edit transaction (grow, maybe prune).
+
+    The new leaf attaches to an anchor drawn from the *initial* schema
+    (so planning never has to track the evolved graph), on the opposite
+    side.  Once two leaves are outstanding the oldest is pruned in the
+    same transaction, keeping the schema's size bounded over long runs.
+    """
+    anchor = rng.choice(graph.sorted_vertices())
+    leaf_counter[0] += 1
+    leaf = (LEAF_PREFIX, tenant, leaf_counter[0])
+    edits: List[Dict[str, Any]] = [
+        {"op": "add_vertex", "vertex": leaf, "side": 3 - graph.side_of(anchor)},
+        {"op": "add_edge", "u": leaf, "v": anchor},
+    ]
+    grown.append(leaf)
+    if len(grown) > 2:
+        victim = grown.pop(0)
+        edits.append({"op": "remove_vertex", "vertex": victim})
+    return edits
+
+
+def build_plan(
+    spec: LoadSpec, graphs: Dict[str, BipartiteGraph]
+) -> List[PlannedOp]:
+    """Compile a spec (plus its generated schemas) into a request plan.
+
+    ``graphs`` maps tenant name to the tenant's *initial* schema --
+    terminal sets are sampled from each schema's largest connected
+    component, so every planned query is feasible.  The function is
+    pure: no clocks, no global state, same inputs, same plan.
+    """
+    count = spec.arrival.requests
+    arrival_seed = (
+        spec.arrival.seed
+        if spec.arrival.seed is not None
+        else spec.seed * 1000003 + 101
+    )
+    offsets = arrival_offsets(
+        spec.arrival.schedule, spec.arrival.rate, count, arrival_seed
+    )
+    rng = random.Random(spec.seed * 1000003 + 202)
+    ops = _weighted_ops(spec, rng, count)
+
+    tenant_names = [tenant.name for tenant in spec.tenants]
+    tokened = [tenant.name for tenant in spec.tokened_tenants()]
+    mutating = bool(dict(spec.profile).get("mutate", 0))
+    # churn/query partition (see the module docstring): with mutation in
+    # the mix, query ops avoid the tenants whose schemas are changing
+    query_pool = (
+        [name for name in tenant_names if name not in set(tokened)]
+        if mutating
+        else tenant_names
+    ) or tenant_names
+    by_name = {tenant.name: tenant for tenant in spec.tenants}
+    write_seq: Dict[str, int] = {name: 0 for name in tenant_names}
+    grown: Dict[str, List[Any]] = {name: [] for name in tenant_names}
+    leaf_counter: Dict[str, List[int]] = {name: [0] for name in tenant_names}
+
+    plan: List[PlannedOp] = []
+    for index, (at, op) in enumerate(zip(offsets, ops)):
+        if op in ("mutate", "bad_auth"):
+            tenant = rng.choice(tokened)
+        elif op == "over_quota":
+            # quota bounces never touch the service, so any tenant works
+            tenant = rng.choice(tenant_names)
+        else:
+            tenant = rng.choice(query_pool)
+        graph = graphs[tenant]
+        payload: Dict[str, Any] = {}
+        expect_error: Optional[str] = None
+        seq: Optional[int] = None
+        if op == "connect":
+            payload["terminals"] = random_terminals(graph, spec.terminals, rng=rng)
+        elif op in ("batch", "interpret"):
+            payload["queries"] = [
+                random_terminals(graph, spec.terminals, rng=rng)
+                for _ in range(spec.batch_size)
+            ]
+        elif op == "enumerate":
+            payload["terminals"] = random_terminals(graph, spec.terminals, rng=rng)
+            payload["budget"] = spec.enumerate_budget
+            payload["pages"] = spec.enumerate_pages
+        elif op == "mutate":
+            payload["edits"] = _leaf_edits(
+                graph, tenant, rng, grown[tenant], leaf_counter[tenant]
+            )
+            seq = write_seq[tenant]
+            write_seq[tenant] += 1
+        elif op == "bad_auth":
+            # a would-be mutation with a wrong token: must bounce with
+            # the typed ``auth`` kind before touching anything
+            anchor = rng.choice(graph.sorted_vertices())
+            payload["edits"] = [
+                {
+                    "op": "add_vertex",
+                    "vertex": (LEAF_PREFIX, tenant, "denied"),
+                    "side": 3 - graph.side_of(anchor),
+                }
+            ]
+            payload["token"] = "invalid-" + (by_name[tenant].token or "")
+            expect_error = "auth"
+        elif op == "over_quota":
+            # one request past the tenant's batch quota: must bounce
+            # with the typed ``quota`` kind before any solving
+            size = by_name[tenant].max_batch_requests + 1
+            terminals = random_terminals(graph, min(2, spec.terminals), rng=rng)
+            payload["queries"] = [terminals for _ in range(size)]
+            expect_error = "quota"
+        plan.append(
+            PlannedOp(
+                index=index,
+                at=at,
+                tenant=tenant,
+                op=op,
+                payload=payload,
+                expect_error=expect_error,
+                write_seq=seq,
+            )
+        )
+    return plan
+
+
+__all__ = ["PlannedOp", "arrival_offsets", "build_plan", "LEAF_PREFIX"]

@@ -16,11 +16,20 @@ Subcommands::
     python -m repro run spec.json --workers 4 --cache-dir .repro-cache
     python -m repro spec-template          # print a starter spec
     python -m repro serve --port 7463      # multi-tenant connection server
+    python -m repro load --smoke           # open-loop load & soak harness
+    python -m repro load spec-template     # print a starter load spec
 
 ``serve`` starts the :class:`~repro.server.app.ReproServer` (see
 ``docs/server.md``) and drains gracefully on SIGTERM/SIGINT: it stops
 accepting, finishes in-flight requests, flushes the disk cache, then
 exits 0.
+
+``load`` executes a :class:`~repro.load.spec.LoadSpec` (see
+``docs/load.md``): by default it spawns a ``serve`` subprocess and
+drives it over the wire; ``--connect HOST:PORT`` targets a server you
+already run, and ``--in-process`` skips sockets entirely.  The exit
+code follows the report verdict -- 0 when every budget held and the
+verify checksum matched, 1 otherwise, 2 for an invalid spec.
 
 See ``docs/runtime.md`` for the caching/parallelism guide.
 """
@@ -126,6 +135,44 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--drain-grace", type=float, default=10.0,
         help="seconds to wait for in-flight requests on shutdown (default: 10)",
+    )
+
+    load = commands.add_parser(
+        "load", help="open-loop load & soak harness against the server"
+    )
+    load.add_argument(
+        "spec", nargs="?", default=None,
+        help=(
+            "path to a load spec JSON file ('-' = stdin, "
+            "'spec-template' = print a starter load spec)"
+        ),
+    )
+    load.add_argument(
+        "--smoke", action="store_true",
+        help="run the built-in CI acceptance spec instead of a spec file",
+    )
+    load.add_argument(
+        "--in-process", action="store_true",
+        help="drive a fresh in-process registry (no sockets, no subprocess)",
+    )
+    load.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help=(
+            "drive an already-running server "
+            "(default: spawn a `serve` subprocess for the run)"
+        ),
+    )
+    load.add_argument(
+        "--clients", type=int, default=None,
+        help="concurrent simulated clients (overrides the spec)",
+    )
+    load.add_argument(
+        "--no-soak", action="store_true",
+        help="skip the spec's soak section (burst phase only)",
+    )
+    load.add_argument(
+        "--json", dest="json_path", default=None,
+        help="write the full LoadReport as JSON to this path ('-' = stdout)",
     )
     return parser
 
@@ -255,6 +302,79 @@ def _serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_cmd(args: argparse.Namespace) -> int:
+    """Run the ``load`` subcommand; returns the process exit code."""
+    from repro.load import LoadSpec, run_load
+    from repro.load.runner import TEMPLATE as LOAD_TEMPLATE
+    from repro.load.runner import smoke_spec, spawn_server, stop_server
+
+    if args.spec == "spec-template":
+        try:
+            print(json.dumps(LOAD_TEMPLATE, indent=2))
+        except BrokenPipeError:
+            pass
+        return 0
+
+    try:
+        if args.smoke:
+            spec = smoke_spec()
+        elif args.spec == "-":
+            spec = LoadSpec.from_json(sys.stdin.read())
+        elif args.spec is not None:
+            try:
+                with open(args.spec, "r", encoding="utf-8") as handle:
+                    spec = LoadSpec.from_json(handle.read())
+            except OSError as error:
+                raise ValidationError(
+                    f"cannot read load spec {args.spec!r}: {error}"
+                ) from error
+        else:
+            raise ValidationError(
+                "provide a load spec path, '-', 'spec-template', or --smoke"
+            )
+        if args.in_process and args.connect:
+            raise ValidationError("--in-process and --connect are exclusive")
+
+        if args.in_process:
+            report = run_load(
+                spec, mode="in-process",
+                clients=args.clients, soak=not args.no_soak,
+            )
+        elif args.connect:
+            host, _, port_text = args.connect.rpartition(":")
+            if not host or not port_text.isdigit():
+                raise ValidationError(
+                    f"--connect expects HOST:PORT, got {args.connect!r}"
+                )
+            report = run_load(
+                spec, mode="wire", host=host, port=int(port_text),
+                clients=args.clients, soak=not args.no_soak,
+            )
+        else:
+            process, host, port = spawn_server()
+            try:
+                report = run_load(
+                    spec, mode="wire", host=host, port=port,
+                    clients=args.clients, soak=not args.no_soak,
+                )
+            finally:
+                stop_server(process)
+    except ValidationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.json_path == "-":
+        print(report.to_json())
+    else:
+        print(report.render_text())
+        if args.json_path:
+            with open(args.json_path, "w", encoding="utf-8") as handle:
+                handle.write(report.to_json())
+                handle.write("\n")
+            print(f"report: {args.json_path}")
+    return 0 if report.ok() else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
@@ -262,6 +382,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "serve":
         return _serve(args)
+
+    if args.command == "load":
+        return _load_cmd(args)
 
     if args.command == "spec-template":
         try:

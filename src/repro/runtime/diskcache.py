@@ -164,6 +164,26 @@ class DiskCache:
             "root": str(self._root),
         }
 
+    def size_bytes(self) -> int:
+        """Total bytes stored under this cache's format version.
+
+        Walks the store (0 when nothing was written yet); a *capacity*
+        number for leak monitors (:mod:`repro.load.soak`) -- a
+        content-addressed store replaying a fixed schema population must
+        plateau, so monotonic growth here means entries are being minted
+        that never repeat.
+        """
+        total = 0
+        if not self._root.exists():
+            return 0
+        for path in self._root.rglob("*"):
+            try:
+                if path.is_file():
+                    total += path.stat().st_size
+            except OSError:  # racing a concurrent writer/clear is fine
+                continue
+        return total
+
     def clear(self) -> None:
         """Delete every entry of this cache's format version."""
         shutil.rmtree(self._root, ignore_errors=True)

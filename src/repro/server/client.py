@@ -12,7 +12,14 @@ raw JSON payloads the server sent -- decode result payloads into full
 
 Error envelopes raise :class:`~repro.server.errors.RemoteError`, whose
 ``kind`` mirrors the server's typed vocabulary, so remote failures are
-handled exactly like local ones.
+handled exactly like local ones.  Failures *below* the protocol raise
+the same class with client-side kinds -- ``"transport"`` (connection
+refused, reset, or closed mid-frame), ``"timeout"`` (the socket
+deadline expired), and ``"protocol"`` (an oversized or unparsable
+frame) -- and any such failure closes the socket before raising: a
+connection that died mid-frame can never be reused half-synchronised,
+and a caller looping over requests never hangs or leaks the
+descriptor.
 
 Examples
 --------
@@ -36,9 +43,21 @@ from typing import Any, Iterable, List, Optional
 
 from repro.graphs.bipartite import BipartiteGraph
 from repro.server.codec import encode_schema, encode_value
-from repro.server.errors import ProtocolError, RemoteError
+from repro.server.errors import RemoteError
+from repro.server.protocol import MAX_FRAME_BYTES
 
 _LENGTH = struct.Struct("!I")
+
+
+class _ClientSideError(RemoteError):
+    """A failure detected by the client itself, not a server envelope.
+
+    Same public surface as :class:`RemoteError` (callers catch that);
+    the private subclass only tells :meth:`ReproClient.call` that the
+    connection is no longer synchronised and must be closed -- a
+    server-*sent* error envelope (which may also carry kind
+    ``"protocol"``) leaves the connection healthy and reusable.
+    """
 
 
 class ReproClient:
@@ -47,8 +66,24 @@ class ReproClient:
     def __init__(
         self, host: str = "127.0.0.1", port: int = 7463, timeout: float = 30.0
     ) -> None:
-        """Connect immediately; ``timeout`` bounds every socket operation."""
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        """Connect immediately; ``timeout`` bounds every socket operation.
+
+        Raises :class:`RemoteError` with kind ``"transport"`` when the
+        connection is refused (or the host is unreachable) and kind
+        ``"timeout"`` when the connect itself exceeds ``timeout``.
+        """
+        self._timeout = timeout
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except socket.timeout as error:
+            raise RemoteError(
+                "timeout",
+                f"connecting to {host}:{port} timed out after {timeout}s",
+            ) from error
+        except OSError as error:
+            raise RemoteError(
+                "transport", f"cannot connect to {host}:{port}: {error}"
+            ) from error
         self._seq = itertools.count(1)
 
     # ------------------------------------------------------------------
@@ -74,14 +109,30 @@ class ReproClient:
         while count:
             chunk = self._sock.recv(count)
             if not chunk:
-                raise ProtocolError("server closed the connection mid-frame")
+                raise _ClientSideError(
+                    "transport", "server closed the connection mid-frame"
+                )
             chunks.append(chunk)
             count -= len(chunk)
         return b"".join(chunks)
 
     def _read_frame(self) -> dict:
         (length,) = _LENGTH.unpack(self._recv_exactly(_LENGTH.size))
-        return json.loads(self._recv_exactly(length).decode("utf-8"))
+        if length > MAX_FRAME_BYTES:
+            # refuse before allocating: a corrupt or hostile length prefix
+            # must not turn into a multi-gigabyte buffer
+            raise _ClientSideError(
+                "protocol",
+                f"server declared a {length}-byte frame, over "
+                f"MAX_FRAME_BYTES ({MAX_FRAME_BYTES})",
+            )
+        raw = self._recv_exactly(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _ClientSideError(
+                "protocol", f"server sent an unparsable frame: {error}"
+            ) from error
 
     def call(self, command: str, **params) -> dict:
         """Send one command and return its result payload.
@@ -89,7 +140,10 @@ class ReproClient:
         ``None``-valued parameters are omitted (server defaults apply).
         Interleaved ``stream`` frames are collected into the returned
         payload under ``"results"``.  Error envelopes raise
-        :class:`RemoteError`.
+        :class:`RemoteError`; so do transport-level failures (kinds
+        ``"transport"`` / ``"timeout"`` / ``"protocol"``), which also
+        close the socket -- after a half-read frame the stream can
+        never be resynchronised.
         """
         message_id = next(self._seq)
         payload = json.dumps(
@@ -104,29 +158,52 @@ class ReproClient:
             },
             separators=(",", ":"),
         ).encode("utf-8")
-        self._sock.sendall(_LENGTH.pack(len(payload)) + payload)
-        streamed: List[dict] = []
-        while True:
-            frame = self._read_frame()
-            if frame.get("id") != message_id:
-                raise ProtocolError(
-                    f"response id {frame.get('id')!r} does not match "
-                    f"request {message_id}"
-                )
-            if "stream" in frame:
-                streamed.append(frame["stream"])
-                continue
-            if frame.get("ok"):
-                result = frame.get("result") or {}
-                if streamed:
-                    result = {**result, "results": streamed}
-                return result
-            error = frame.get("error") or {}
-            raise RemoteError(
-                error.get("kind", "internal"),
-                error.get("message", "unknown server error"),
-                error.get("type", ""),
+        if len(payload) > MAX_FRAME_BYTES:
+            raise _ClientSideError(
+                "protocol",
+                f"request frame of {len(payload)} bytes exceeds "
+                f"MAX_FRAME_BYTES ({MAX_FRAME_BYTES})",
             )
+        try:
+            self._sock.sendall(_LENGTH.pack(len(payload)) + payload)
+            streamed: List[dict] = []
+            while True:
+                frame = self._read_frame()
+                if frame.get("id") != message_id:
+                    raise _ClientSideError(
+                        "protocol",
+                        f"response id {frame.get('id')!r} does not match "
+                        f"request {message_id}",
+                    )
+                if "stream" in frame:
+                    streamed.append(frame["stream"])
+                    continue
+                if frame.get("ok"):
+                    result = frame.get("result") or {}
+                    if streamed:
+                        result = {**result, "results": streamed}
+                    return result
+                error = frame.get("error") or {}
+                raise RemoteError(
+                    error.get("kind", "internal"),
+                    error.get("message", "unknown server error"),
+                    error.get("type", ""),
+                )
+        except socket.timeout as error:
+            self.close()
+            raise _ClientSideError(
+                "timeout",
+                f"no complete response to {command!r} within "
+                f"{self._timeout}s",
+            ) from error
+        except _ClientSideError:
+            self.close()
+            raise
+        except OSError as error:
+            self.close()
+            raise _ClientSideError(
+                "transport", f"socket failed during {command!r}: {error}"
+            ) from error
 
     # ------------------------------------------------------------------
     # convenience wrappers

@@ -272,3 +272,67 @@ def test_committed_history_gates_the_committed_smoke_suite():
     assert document is not None, "committed BENCH_history.json failed to load"
     assert document["format"] == history.HISTORY_FORMAT
     assert document["cases"], "committed history has no baselined cases"
+
+
+# ----------------------------------------------------------------------
+# record(): no silent wall_ms-less entries (regression)
+# ----------------------------------------------------------------------
+class _FakeBenchmark:
+    """Stands in for the pytest-benchmark fixture in record() tests."""
+
+    def __init__(self, median=None):
+        self.extra_info = {}
+        if median is not None:
+            inner = type("Stats", (), {"median": median})()
+            self.stats = type("Meta", (), {"stats": inner})()
+
+
+@pytest.fixture
+def drain_records():
+    """Capture what record() appends, restoring the module buffer after."""
+    saved = list(bench_conftest._RESULTS)
+    del bench_conftest._RESULTS[:]
+    yield bench_conftest._RESULTS
+    del bench_conftest._RESULTS[:]
+    bench_conftest._RESULTS.extend(saved)
+
+
+def test_record_prefers_explicit_seconds(drain_records):
+    bench_conftest.record(
+        _FakeBenchmark(median=9.9), experiment="X", wall_seconds=0.5
+    )
+    (entry,) = drain_records
+    assert entry["wall_ms"] == 500.0
+    assert "ungated" not in entry
+
+
+def test_record_falls_back_to_benchmark_median(drain_records):
+    """The regression this PR closes: cases that recorded only counters
+    used to land with ``wall_ms: null`` and silently vanish from the
+    ``benchmarks.history`` gate."""
+    bench_conftest.record(_FakeBenchmark(median=0.002), experiment="X", items=3)
+    (entry,) = drain_records
+    assert entry["wall_ms"] == 2.0
+
+
+def test_record_without_any_wall_time_raises(drain_records):
+    with pytest.raises(ValueError, match="ungated"):
+        bench_conftest.record(_FakeBenchmark(), experiment="X", items=3)
+    assert drain_records == []
+
+
+def test_record_ungated_is_explicit_and_skipped_by_the_gate(drain_records):
+    bench_conftest.record(_FakeBenchmark(median=1.0), experiment="X", ungated=True)
+    (entry,) = drain_records
+    assert entry["ungated"] is True
+    assert entry["wall_ms"] is None
+    document = history.fresh_history(20)
+    results = {
+        "format": history.RESULTS_FORMAT,
+        "complete": True,
+        "smoke": False,
+        "cases": [dict(entry, name="ungated-case")],
+    }
+    history.append_results(document, results, "sha")
+    assert "ungated-case" not in document["cases"]
+    assert history.check_results(document, results, 0.35, out=io.StringIO()) == []

@@ -550,7 +550,7 @@ class TestPackaging:
     def test_version_and_exports(self):
         import repro
 
-        assert repro.__version__ == "1.7.0"
+        assert repro.__version__ == "1.8.0"
         for name in (
             "BlockClassifier",
             "ConnectionRequest",
@@ -560,6 +560,8 @@ class TestPackaging:
             "DistanceOracle",
             "EnumerationStream",
             "Guarantee",
+            "LoadReport",
+            "LoadSpec",
             "MetricsRegistry",
             "NullRegistry",
             "ParallelExecutor",
@@ -568,6 +570,7 @@ class TestPackaging:
             "SchemaEditor",
             "ServiceConfig",
             "WorkloadSpec",
+            "run_load",
             "run_workload",
         ):
             assert name in repro.__all__

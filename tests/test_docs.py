@@ -128,6 +128,27 @@ def test_required_coverage_is_present():
     # the server guide is reachable from the layers it fronts
     for page in ("architecture.md", "runtime.md", "observability.md", "enumeration.md"):
         assert "server.md" in corpus[page], f"{page} misses the server cross-link"
+    # load & soak guide: CLI, spec schema, budgets, verify, soak, report
+    for needle in (
+        "python -m repro load",
+        "--smoke",
+        "spec-template",
+        "coordinated omission",
+        "offered_rate",
+        "latency_ms",
+        "error_rates",
+        "min_achieved_fraction",
+        "bad_auth",
+        "over_quota",
+        "serial oracle",
+        "allowed_growth",
+        "shm_segments",
+        "verdict: PASS",
+    ):
+        assert needle in corpus["load.md"], f"load.md misses {needle}"
+    # the load guide is reachable from the server and observability guides
+    for page in ("server.md", "observability.md"):
+        assert "load.md" in corpus[page], f"{page} misses the load cross-link"
     # migration note and enumeration contract
     assert "MinimalConnectionFinder" in corpus["migration.md"]
     assert "extend_budget" in corpus["enumeration.md"]

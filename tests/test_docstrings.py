@@ -1,9 +1,9 @@
 """Docstring coverage of the public API surface, enforced via ``ast``.
 
 CI runs ruff's pydocstyle rules (``D10x``, see ``pyproject.toml``) over
-``repro.api``, ``repro.dynamic``, ``repro.kernels``, ``repro.metrics``,
-``repro.engine.batch``, ``repro.runtime`` and ``repro.server``; this
-test enforces the
+``repro.api``, ``repro.dynamic``, ``repro.kernels``, ``repro.load``,
+``repro.metrics``, ``repro.engine.batch``, ``repro.runtime`` and
+``repro.server``; this test enforces the
 same contract locally without
 needing ruff installed: every public module, class, function, method and
 property in those packages must carry a non-empty docstring.
@@ -23,6 +23,7 @@ TARGETS = sorted(
     list((SRC / "api").glob("*.py"))
     + list((SRC / "dynamic").glob("*.py"))
     + list((SRC / "kernels").glob("*.py"))
+    + list((SRC / "load").glob("*.py"))
     + list((SRC / "metrics").glob("*.py"))
     + list((SRC / "runtime").glob("*.py"))
     + list((SRC / "server").glob("*.py"))
@@ -61,6 +62,6 @@ def test_public_surface_is_documented(path):
 
 
 def test_target_list_is_nonempty():
-    # api (6) + dynamic (4) + kernels (4) + metrics (3) + runtime (6)
-    # + server (7) + engine/batch
-    assert len(TARGETS) >= 30
+    # api (6) + dynamic (4) + kernels (4) + load (7) + metrics (3)
+    # + runtime (6) + server (7) + engine/batch
+    assert len(TARGETS) >= 37

@@ -57,6 +57,7 @@ from repro.server.codec import (
 )
 from repro.server.protocol import (
     COMMANDS,
+    MAX_FRAME_BYTES,
     Argument,
     Command,
     encode_frame,
@@ -627,3 +628,127 @@ class TestServerDifferential:
 def sorted_edge(edge):
     """Normalise an undirected edge for comparison."""
     return tuple(sorted(edge, key=repr))
+
+
+# ----------------------------------------------------------------------
+# client: transport-level failure modes are typed, bounded, and leak-free
+# ----------------------------------------------------------------------
+@contextlib.contextmanager
+def misbehaving_server(handler):
+    """A bare TCP listener whose accept loop runs ``handler(conn)`` once."""
+    import socket as socketlib
+
+    listener = socketlib.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    port = listener.getsockname()[1]
+
+    def serve():
+        try:
+            conn, _ = listener.accept()
+        except OSError:
+            return
+        try:
+            handler(conn)
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    try:
+        yield port
+    finally:
+        listener.close()
+        thread.join(5)
+
+
+class TestClientFailureModes:
+    """Each transport failure raises a typed RemoteError and closes the
+    socket -- never a hang, never a leaked descriptor, never a client
+    that silently reuses a half-synchronised connection."""
+
+    def test_connection_refused_is_typed(self):
+        import socket as socketlib
+
+        probe = socketlib.socket()
+        probe.bind(("127.0.0.1", 0))
+        free_port = probe.getsockname()[1]
+        probe.close()  # nothing listens here now
+        with pytest.raises(RemoteError) as excinfo:
+            ReproClient("127.0.0.1", free_port, timeout=2.0)
+        assert excinfo.value.kind == "transport"
+
+    def test_mid_frame_server_death_is_typed_and_closes(self):
+        def die_mid_frame(conn):
+            conn.recv(4096)
+            # declare 100 bytes, deliver 5, die
+            conn.sendall(struct.pack("!I", 100) + b'{"par')
+
+        with misbehaving_server(die_mid_frame) as port:
+            client = ReproClient("127.0.0.1", port, timeout=5.0)
+            with pytest.raises(RemoteError) as excinfo:
+                client.ping()
+            assert excinfo.value.kind == "transport"
+            assert "mid-frame" in str(excinfo.value)
+            assert client._sock.fileno() == -1, "socket leaked"
+
+    def test_oversized_frame_is_refused_before_allocation(self):
+        def huge_length(conn):
+            conn.recv(4096)
+            conn.sendall(struct.pack("!I", 2**31))  # 2 GiB declared
+
+        with misbehaving_server(huge_length) as port:
+            client = ReproClient("127.0.0.1", port, timeout=5.0)
+            with pytest.raises(RemoteError) as excinfo:
+                client.ping()
+            assert excinfo.value.kind == "protocol"
+            assert "MAX_FRAME_BYTES" in str(excinfo.value)
+            assert client._sock.fileno() == -1, "socket leaked"
+
+    def test_oversized_request_is_refused_before_sending(self):
+        def echo_nothing(conn):
+            conn.recv(4096)
+
+        with misbehaving_server(echo_nothing) as port:
+            client = ReproClient("127.0.0.1", port, timeout=5.0)
+            with pytest.raises(RemoteError) as excinfo:
+                client.call("connect", blob="x" * (MAX_FRAME_BYTES + 1))
+            assert excinfo.value.kind == "protocol"
+
+    def test_silent_server_times_out_not_hangs(self):
+        def never_reply(conn):
+            conn.recv(4096)
+            threading.Event().wait(8)  # outlive the client timeout
+
+        with misbehaving_server(never_reply) as port:
+            client = ReproClient("127.0.0.1", port, timeout=0.5)
+            with pytest.raises(RemoteError) as excinfo:
+                client.ping()
+            assert excinfo.value.kind == "timeout"
+            assert client._sock.fileno() == -1, "socket leaked"
+
+    def test_garbage_frame_is_typed(self):
+        def garbage(conn):
+            conn.recv(4096)
+            body = b"\xff\xfe not json"
+            conn.sendall(struct.pack("!I", len(body)) + body)
+
+        with misbehaving_server(garbage) as port:
+            client = ReproClient("127.0.0.1", port, timeout=5.0)
+            with pytest.raises(RemoteError) as excinfo:
+                client.ping()
+            assert excinfo.value.kind == "protocol"
+            assert "unparsable" in str(excinfo.value)
+
+    def test_server_error_envelope_keeps_the_connection_usable(self):
+        """A typed *envelope* (even kind 'protocol') is the server talking,
+        not the transport dying: the same client must keep working."""
+        with running_server() as server:
+            with ReproClient(port=server.port) as client:
+                with pytest.raises(RemoteError) as excinfo:
+                    client.call("definitely_not_a_command")
+                assert excinfo.value.kind == "protocol"
+                assert client.ping()["pong"] is True
