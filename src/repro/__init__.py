@@ -97,6 +97,7 @@ from repro.exceptions import (
     DisconnectedTerminalsError,
     GraphError,
     HypergraphError,
+    MissingDependencyError,
     NotApplicableError,
     ReproError,
     ValidationError,
@@ -153,7 +154,7 @@ from repro.steiner import (
     steiner_tree_dreyfus_wagner,
 )
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "BipartiteGraph",
@@ -182,6 +183,7 @@ __all__ = [
     "LoadSpec",
     "MetricsRegistry",
     "MinimalConnectionFinder",
+    "MissingDependencyError",
     "NotApplicableError",
     "NullRegistry",
     "ParallelExecutor",

@@ -66,6 +66,25 @@ class ServiceConfig:
         :class:`~repro.metrics.NullRegistry` to disable instrumentation
         entirely.  Pool workers always run with ``metrics=None``
         overridden in (registries do not cross process boundaries).
+    kernel_backend:
+        Which kernel lane (:mod:`repro.kernels.backend`) BFS rows are
+        produced on: ``"array"`` (the zero-dependency default),
+        ``"numpy"`` (the vectorized lane; raises
+        :class:`~repro.exceptions.MissingDependencyError` at service
+        construction when numpy is absent), ``"auto"`` (numpy when
+        importable, else array) or ``None`` to defer to the
+        ``REPRO_KERNEL_BACKEND`` environment variable / the array
+        default.  Both lanes return byte-identical rows; the resolved
+        lane is stamped into every answer's provenance, and -- because
+        the config travels to pool workers via ``with_overrides`` --
+        workers resolve the same lane after fork *or* spawn.
+    memory_budget_bytes:
+        Optional byte budget for the engine's schema cache and its
+        distance oracles.  When an insert pushes the held bytes past the
+        budget, least-recently-used schema contexts / oracle rows are
+        evicted instead of growing without bound; current usage is
+        exported as ``repro_memory_*`` gauges.  ``None`` (the default)
+        means unbounded.
     """
 
     exact_terminal_limit: int = 8
@@ -77,6 +96,8 @@ class ServiceConfig:
     cache_dir: Optional[Union[str, os.PathLike]] = None
     incremental: bool = True
     metrics: Optional[MetricsRegistry] = None
+    kernel_backend: Optional[str] = None
+    memory_budget_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.exact_terminal_limit < 0 or self.exact_vertex_limit < 0:
@@ -97,6 +118,19 @@ class ServiceConfig:
             raise ValidationError("incremental must be a bool")
         if self.metrics is not None and not isinstance(self.metrics, MetricsRegistry):
             raise ValidationError("metrics must be a MetricsRegistry (or None)")
+        if self.kernel_backend is not None and self.kernel_backend not in (
+            "array",
+            "numpy",
+            "auto",
+        ):
+            raise ValidationError(
+                "kernel_backend must be 'array', 'numpy', 'auto' or None"
+            )
+        if self.memory_budget_bytes is not None and (
+            not isinstance(self.memory_budget_bytes, int)
+            or self.memory_budget_bytes < 1
+        ):
+            raise ValidationError("memory_budget_bytes must be a positive int (or None)")
 
     def with_overrides(self, **overrides) -> "ServiceConfig":
         """Return a copy with the given fields replaced (validation re-runs)."""

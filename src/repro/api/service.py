@@ -40,6 +40,7 @@ from repro.engine.cache import SchemaContext
 from repro.engine.planner import QueryPlan, plan_query
 from repro.engine.registry import SolverRegistry
 from repro.exceptions import NotApplicableError, ValidationError
+from repro.kernels.backend import backend_name, resolve_backend
 from repro.metrics import MetricsRegistry, default_metrics
 from repro.steiner.problem import SteinerSolution
 
@@ -89,11 +90,18 @@ class ConnectionService:
         self._schema = schema
         if engine is None:
             self._config = config if config is not None else ServiceConfig()
+            # resolve the kernel lane ONCE, at construction: a "numpy"
+            # request without numpy fails here with a typed
+            # MissingDependencyError instead of mid-query, and the
+            # resolved name is stamped into every answer's provenance
+            kernel_backend = resolve_backend(self._config.kernel_backend)
             engine = InterpretationEngine(
                 registry=registry,
                 cache_size=self._config.cache_size,
                 exact_terminal_limit=self._config.exact_terminal_limit,
                 exact_vertex_limit=self._config.exact_vertex_limit,
+                kernel_backend=kernel_backend,
+                memory_budget_bytes=self._config.memory_budget_bytes,
             )
         elif config is None:
             # adopt the engine's thresholds so the service and its engine
@@ -113,6 +121,17 @@ class ConnectionService:
         else:
             self._config = config
         self._engine = engine
+        # the lane every answer's provenance reports: a shared engine's
+        # cache lane wins (that is the lane actually producing rows);
+        # otherwise the config resolves (instances are memoised, so this
+        # re-resolve is free on the engine-built path above)
+        cache_backend = getattr(engine.cache, "kernel_backend", None)
+        self._kernel_backend = (
+            cache_backend
+            if cache_backend is not None
+            else resolve_backend(self._config.kernel_backend)
+        )
+        self._backend_name = backend_name(self._kernel_backend)
         # see _context for the caching contract
         self._bound_context = None
         self._bound_version = None
@@ -224,6 +243,24 @@ class ConnectionService:
         for stat, value in stats.get("disk", {}).items():
             if isinstance(value, (int, float)) and not isinstance(value, bool):
                 disk_gauge.labels(stat=stat).set(value)
+        # memory-budget observability: what the engine currently HOLDS
+        # (CSR arrays + oracle rows) against what it is ALLOWED to hold
+        memory_gauge = self._metrics.gauge(
+            "repro_memory_held_bytes",
+            "Bytes currently held by the engine, by component.",
+            ("component",),
+        )
+        memory_gauge.labels(component="schema_cache").set(
+            stats.get("memory_bytes", 0) or 0
+        )
+        memory_gauge.labels(component="distance_oracle").set(
+            stats.get("oracle_bytes", 0) or 0
+        )
+        budget_gauge = self._metrics.gauge(
+            "repro_memory_budget_bytes",
+            "Configured engine memory budget (0 = unbounded).",
+        )
+        budget_gauge.set(self._config.memory_budget_bytes or 0)
 
     def classification(self, schema: Any = None) -> ChordalityReport:
         """Return the chordality classification of a schema (cached)."""
@@ -601,6 +638,7 @@ class ConnectionService:
             request_id=scope.request_id if scope is not None else None,
             tenant=scope.tenant if scope is not None else None,
             phases=scope.phases_ms() if scope is not None else None,
+            backend=self._backend_name,
         )
         outcome = {
             "instance_class": provenance.instance_class,

@@ -50,6 +50,13 @@ class InterpretationEngine:
         Number of schema contexts kept in the LRU.
     exact_terminal_limit / exact_vertex_limit:
         Same dispatch thresholds as :class:`~repro.core.connection.MinimalConnectionFinder`.
+    kernel_backend:
+        The :class:`~repro.kernels.backend.KernelBackend` lane every
+        context's distance oracle produces rows on (``None`` = process
+        default; rows are byte-identical across lanes).
+    memory_budget_bytes:
+        Optional byte budget for the schema cache and its oracles (see
+        :class:`~repro.engine.cache.SchemaCache`).
 
     Examples
     --------
@@ -66,9 +73,15 @@ class InterpretationEngine:
         cache_size: int = 16,
         exact_terminal_limit: int = 8,
         exact_vertex_limit: int = 18,
+        kernel_backend=None,
+        memory_budget_bytes: Optional[int] = None,
     ) -> None:
         self.registry = registry if registry is not None else default_registry()
-        self._cache = SchemaCache(maxsize=cache_size)
+        self._cache = SchemaCache(
+            maxsize=cache_size,
+            kernel_backend=kernel_backend,
+            memory_budget_bytes=memory_budget_bytes,
+        )
         self._exact_terminal_limit = exact_terminal_limit
         self._exact_vertex_limit = exact_vertex_limit
 

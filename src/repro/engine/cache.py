@@ -76,6 +76,18 @@ class LRUCache:
             self._data.popitem(last=False)
             self.evictions += 1
 
+    def pop_oldest(self):
+        """Evict and return the least-recently-used value (or ``None`` if empty).
+
+        The memory-budget enforcement of :class:`SchemaCache` uses this to
+        shed contexts by *bytes* rather than by count.
+        """
+        if not self._data:
+            return None
+        _, value = self._data.popitem(last=False)
+        self.evictions += 1
+        return value
+
     def __len__(self) -> int:
         return len(self._data)
 
@@ -283,6 +295,8 @@ class SchemaContext:
         graph: BipartiteGraph,
         report: Optional[ChordalityReport] = None,
         oracle_stats: Optional[OracleStats] = None,
+        kernel_backend=None,
+        memory_budget_bytes: Optional[int] = None,
     ) -> None:
         # defensive copy: the context outlives the call that built it (LRU),
         # so it must not alias a graph the caller may mutate afterwards --
@@ -306,6 +320,10 @@ class SchemaContext:
         # is one, so they survive eviction and apply_delta re-derivation
         self._oracle: Optional[DistanceOracle] = None
         self._oracle_stats = oracle_stats
+        # compute-lane selection + byte budget for the lazy oracle; both
+        # propagate along apply_delta chains and through SchemaCache.adopt
+        self._kernel_backend = kernel_backend
+        self._memory_budget = memory_budget_bytes
 
     # ------------------------------------------------------------------
     # shard transport (parallel workers)
@@ -348,6 +366,8 @@ class SchemaContext:
         context._blocks = _new_block_classifier()
         context._oracle = None
         context._oracle_stats = None
+        context._kernel_backend = None
+        context._memory_budget = None
         return context
 
     # ------------------------------------------------------------------
@@ -400,6 +420,8 @@ class SchemaContext:
         context.graph = new_graph
         context._oracle_stats = self._oracle_stats
         context._oracle = None
+        context._kernel_backend = self._kernel_backend
+        context._memory_budget = self._memory_budget
         if delta.added_vertices or delta.removed_vertices:
             context.indexed, context.index = to_indexed(new_graph)
             # vertex churn re-keys every id: nothing the old oracle holds
@@ -445,7 +467,12 @@ class SchemaContext:
         if self._oracle is None:
             if self._oracle_stats is None:
                 self._oracle_stats = OracleStats()
-            self._oracle = DistanceOracle(self.indexed, stats=self._oracle_stats)
+            self._oracle = DistanceOracle(
+                self.indexed,
+                stats=self._oracle_stats,
+                backend=self._kernel_backend,
+                memory_budget_bytes=self._memory_budget,
+            )
         return self._oracle
 
     def adopt_oracle_stats(self, stats: OracleStats) -> None:
@@ -458,6 +485,36 @@ class SchemaContext:
         self._oracle_stats = stats
         if self._oracle is not None:
             self._oracle.stats = stats
+
+    def adopt_kernel_policy(self, kernel_backend, memory_budget_bytes) -> None:
+        """Adopt a cache's compute lane and byte budget for the lazy oracle.
+
+        Called by :meth:`SchemaCache.adopt` so contexts rebuilt elsewhere
+        (pool workers rebuilding from shard state) produce rows on the
+        adopting engine's configured lane.  An oracle that already
+        materialised keeps its rows -- they are byte-identical across
+        lanes, so only *future* row production switches.
+        """
+        self._kernel_backend = kernel_backend
+        self._memory_budget = memory_budget_bytes
+        if self._oracle is not None:
+            if kernel_backend is not None and self._oracle.backend is not kernel_backend:
+                self._oracle.backend = kernel_backend
+                self._oracle.scratch = kernel_backend.scratch(self.indexed)
+            self._oracle.memory_budget_bytes = memory_budget_bytes
+
+    def memory_bytes(self) -> int:
+        """Return the budget-relevant bytes held by this context.
+
+        Counts the canonical CSR storage plus the oracle's cached rows --
+        the two stores that scale with schema size and traffic.  The
+        remaining per-query memos (decoded BFS dicts, side plans) are
+        bounded by their own LRU capacities.
+        """
+        total = self.indexed.nbytes()
+        if self._oracle is not None:
+            total += self._oracle.bytes_held()
+        return total
 
     def bfs_row(self, source: Vertex) -> Dict[Vertex, int]:
         """Return cached BFS distances ``{vertex: distance}`` from ``source``.
@@ -549,11 +606,35 @@ def _patch_indexed(indexed: IndexedGraph, index: GraphIndex, delta) -> IndexedGr
 
 
 class SchemaCache:
-    """LRU of :class:`SchemaContext` objects keyed by schema fingerprint."""
+    """LRU of :class:`SchemaContext` objects keyed by schema fingerprint.
 
-    def __init__(self, maxsize: int = 16) -> None:
+    Parameters
+    ----------
+    maxsize:
+        Entry-count bound of the LRU.
+    kernel_backend:
+        The :class:`~repro.kernels.backend.KernelBackend` every built or
+        adopted context produces BFS rows on (``None`` = process default).
+    memory_budget_bytes:
+        Optional byte bound over the cached contexts (CSR storage +
+        oracle rows, see :meth:`SchemaContext.memory_bytes`): when an
+        insert pushes :meth:`memory_bytes` past the budget,
+        least-recently-used contexts are evicted until the cache fits
+        (the newest context always survives).  The same budget is handed
+        to each context's oracle, so a single big-schema oracle also
+        degrades by eviction instead of growing unbounded.
+    """
+
+    def __init__(
+        self,
+        maxsize: int = 16,
+        kernel_backend=None,
+        memory_budget_bytes: Optional[int] = None,
+    ) -> None:
         self._contexts = LRUCache(maxsize=maxsize)
         self.rebind_fallbacks = 0
+        self.kernel_backend = kernel_backend
+        self.memory_budget_bytes = memory_budget_bytes
         # one shared counter object for every context's distance oracle,
         # so cache_stats() reports engine-wide oracle behaviour even
         # across evictions and apply_delta chains
@@ -581,12 +662,17 @@ class SchemaCache:
             if report is None and report_factory is not None:
                 report = report_factory()
             context = SchemaContext(
-                graph, report=report, oracle_stats=self.oracle_stats
+                graph,
+                report=report,
+                oracle_stats=self.oracle_stats,
+                kernel_backend=self.kernel_backend,
+                memory_budget_bytes=self.memory_budget_bytes,
             )
             if not fingerprint_is_ambiguous(key):
                 # an ambiguous key can never be looked up again; caching
                 # under it would only evict contexts that can
                 self._contexts.put(key, context)
+                self.enforce_memory_budget()
         elif report is not None:
             context.seed_report(report)
         return context, hit
@@ -610,7 +696,9 @@ class SchemaCache:
         key = schema_fingerprint(context.graph)
         if not fingerprint_is_ambiguous(key):
             context.adopt_oracle_stats(self.oracle_stats)
+            context.adopt_kernel_policy(self.kernel_backend, self.memory_budget_bytes)
             self._contexts.put(key, context)
+            self.enforce_memory_budget()
 
     def count_external_hit(self) -> None:
         """Record a context served from a caller-side memo above this cache.
@@ -642,6 +730,38 @@ class SchemaCache:
         """
         self.rebind_fallbacks += 1
 
+    def memory_bytes(self) -> int:
+        """Return the budget-relevant bytes of every cached context.
+
+        Shared oracles (``apply_delta`` chains) are counted once; this is
+        the number the ``repro_memory_schema_cache_bytes`` gauge exports
+        and :meth:`enforce_memory_budget` bounds.
+        """
+        seen: set = set()
+        total = 0
+        for context in self._contexts.values():
+            total += context.indexed.nbytes()
+            oracle = getattr(context, "_oracle", None)
+            if oracle is not None and id(oracle) not in seen:
+                seen.add(id(oracle))
+                total += oracle.bytes_held()
+        return total
+
+    def enforce_memory_budget(self) -> None:
+        """Evict coldest contexts until :meth:`memory_bytes` fits the budget.
+
+        A no-op without a budget.  The newest context always survives
+        (a budget smaller than one schema degrades to rebuild-per-query,
+        never to failure).  Called after every insert; long-lived callers
+        whose oracles grow *between* inserts (one bound schema, heavy
+        query traffic) are bounded by the per-oracle budget instead.
+        """
+        budget = self.memory_budget_bytes
+        if budget is None:
+            return
+        while len(self._contexts) > 1 and self.memory_bytes() > budget:
+            self._contexts.pop_oldest()
+
     def stats(self) -> dict:
         """Return observability counters for the underlying LRU."""
         return {
@@ -651,8 +771,27 @@ class SchemaCache:
             "size": len(self._contexts),
             "maxsize": self._contexts.maxsize,
             "rebind_fallbacks": self.rebind_fallbacks,
+            "memory_bytes": self.memory_bytes(),
+            "memory_budget_bytes": self.memory_budget_bytes,
+            "oracle_bytes": self.oracle_bytes(),
             "distance_oracle": self.oracle_stats.as_dict(),
         }
+
+    def oracle_bytes(self) -> int:
+        """Total bytes held by the cached contexts' distance-oracle rows.
+
+        The oracle-side slice of :meth:`memory_bytes` (which adds the
+        resident CSR bytes on top); shared oracles are counted once.
+        Exported as ``repro_memory_held_bytes{component="distance_oracle"}``.
+        """
+        seen: set = set()
+        total = 0
+        for context in self._contexts.values():
+            oracle = getattr(context, "_oracle", None)
+            if oracle is not None and id(oracle) not in seen:
+                seen.add(id(oracle))
+                total += oracle.bytes_held()
+        return total
 
     def oracle_rows(self) -> int:
         """Total BFS rows held by the cached contexts' distance oracles.

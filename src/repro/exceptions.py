@@ -56,3 +56,29 @@ class DisconnectedTerminalsError(ReproError):
 
 class ValidationError(ReproError):
     """Raised when a caller-supplied argument fails validation."""
+
+
+class MissingDependencyError(ReproError):
+    """Raised when an optional dependency is required but not installed.
+
+    The library's core declares no dependencies (``dependencies = []`` in
+    ``pyproject.toml``); features that need an optional package -- the
+    numpy kernel lane, the matrix views -- import it lazily and raise this
+    error with an actionable install hint instead of an opaque
+    ``ImportError`` at module-import time.
+
+    Attributes
+    ----------
+    dependency:
+        The missing distribution name (e.g. ``"numpy"``).
+    feature:
+        The feature that needed it, for the error message.
+    """
+
+    def __init__(self, dependency: str, feature: str) -> None:
+        self.dependency = dependency
+        self.feature = feature
+        super().__init__(
+            f"{feature} requires the optional dependency {dependency!r}; "
+            f"install it with: pip install 'repro-ausiello-dm85[{dependency}]'"
+        )

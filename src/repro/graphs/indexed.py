@@ -13,6 +13,18 @@ finite simple undirected graph over the contiguous vertex ids
 * an optional ``sides`` array carrying the bipartition labels of a
   :class:`~repro.graphs.bipartite.BipartiteGraph`.
 
+The CSR arrays are the *canonical* storage; the bitset rows and the
+per-vertex row cache are **lazily derived**.  This is what lets schemas
+reach 10^5 - 10^6 vertices: big-int bitset rows cost O(n^2 / 16) bytes in
+the worst case, so a graph consumed only through the CSR surface (the
+kernel backends of :mod:`repro.kernels.backend`, the shared-memory
+transport) never pays for them.  The first call to a bitset primitive
+(``has_edge``, ``is_clique`` ...) materialises ``bits`` once; the first
+Python-loop traversal materialises ``_rows`` once.  ``indptr`` /
+``indices`` / ``sides`` may be any buffer-protocol integer storage --
+``array`` objects, ``memoryview`` casts over a shared-memory segment, or
+(in the numpy kernel lane) ``np.frombuffer`` views over the same bytes.
+
 The class implements the read-only part of the :class:`~repro.graphs.graph.Graph`
 API (``neighbors``, ``vertices``, ``has_edge``, ``subgraph`` ...), so every
 algorithm in the library that does not mutate its input runs unchanged on
@@ -108,7 +120,7 @@ class IndexedGraph:
     False
     """
 
-    __slots__ = ("n", "indptr", "indices", "bits", "sides", "_rows", "_edge_count")
+    __slots__ = ("n", "indptr", "indices", "sides", "_bits", "_rows_cache", "_edge_count")
 
     def __init__(
         self,
@@ -119,22 +131,27 @@ class IndexedGraph:
         if n < 0:
             raise GraphError("vertex count must be non-negative")
         self.n = n
-        bits = [0] * n
-        edge_count = 0
+        # adjacency-list build: O(|E|) time and memory.  The previous
+        # bits-first build was O(n^2 / 16) memory in the worst case
+        # (big-int rows), which capped schemas near 10^3 vertices; the
+        # bitset rows are now derived lazily (see the `bits` property).
+        rows: List[List[int]] = [[] for _ in range(n)]
         for u, v in edges:
             if u == v:
                 raise GraphError(f"self-loops are not allowed (vertex {u!r})")
             if not (0 <= u < n and 0 <= v < n):
                 raise GraphError(f"edge ({u}, {v}) is out of range for n={n}")
-            mask = 1 << v
-            if not bits[u] & mask:
-                bits[u] |= mask
-                bits[v] |= 1 << u
-                edge_count += 1
-        self.bits = bits
-        self._edge_count = edge_count
-        rows: List[List[int]] = [bit_members(row) for row in bits]
-        self._rows = rows
+            rows[u].append(v)
+            rows[v].append(u)
+        edge_count = 0
+        for i, row in enumerate(rows):
+            if row:
+                deduped = sorted(set(row))
+                rows[i] = deduped
+                edge_count += len(deduped)
+        self._rows_cache = rows
+        self._edge_count = edge_count // 2
+        self._bits = None
         indptr = array("l", [0] * (n + 1))
         total = 0
         for i, row in enumerate(rows):
@@ -149,6 +166,43 @@ class IndexedGraph:
             if any(s not in (1, 2) for s in sides):
                 raise GraphError("sides must be 1 or 2")
         self.sides = sides
+
+    # ------------------------------------------------------------------
+    # lazily derived structures
+    # ------------------------------------------------------------------
+    @property
+    def bits(self) -> List[int]:
+        """The big-int bitset rows, materialised on first use.
+
+        ``bits[v]`` has bit ``u`` set exactly when ``{u, v}`` is an edge.
+        Worst-case O(n^2 / 16) bytes, so large CSR-only consumers (the
+        kernel backends, the shm transport) must not touch this property.
+        """
+        if self._bits is None:
+            bits = [0] * self.n
+            for u, row in enumerate(self._rows):
+                mask = 0
+                for v in row:
+                    mask |= 1 << v
+                bits[u] = mask
+            self._bits = bits
+        return self._bits
+
+    @property
+    def _rows(self) -> List[List[int]]:
+        """The per-vertex adjacency-list cache, materialised on first use.
+
+        Derived from the canonical CSR arrays; the Python-loop hot paths
+        (array-lane BFS, elimination, LexBFS/MCS) iterate these lists.
+        """
+        rows = self._rows_cache
+        if rows is None:
+            indptr, indices = self.indptr, self.indices
+            rows = [
+                list(indices[indptr[u]: indptr[u + 1]]) for u in range(self.n)
+            ]
+            self._rows_cache = rows
+        return rows
 
     # ------------------------------------------------------------------
     # fast primitives (id-based)
@@ -354,12 +408,14 @@ class IndexedGraph:
         ``indptr``/``indices`` (and optionally ``sides``) may be
         ``array`` objects, ``memoryview`` casts over a shared-memory
         buffer (the zero-copy transport of :mod:`repro.kernels.shm`), or
-        any integer sequences; they are adopted as-is -- only the derived
-        bitset rows and the per-vertex row cache are materialised, which
-        is the same linear pass unpickling pays.  The arrays must
-        describe a symmetric simple adjacency (both directions present);
-        this is guaranteed for arrays read back from another
-        :class:`IndexedGraph` and is not re-validated here.
+        any integer sequences; they are adopted as-is in O(1) -- the
+        bitset rows and the per-vertex row cache are lazily derived on
+        first use, so a worker that consumes the graph purely through a
+        CSR kernel backend never materialises them at all.  The arrays
+        must describe a symmetric simple adjacency with ascending rows
+        (both directions present); this is guaranteed for arrays read
+        back from another :class:`IndexedGraph` and is not re-validated
+        here.
         """
         graph = cls.__new__(cls)
         graph.n = n
@@ -370,23 +426,33 @@ class IndexedGraph:
         return graph
 
     def _derive_from_csr(self) -> None:
-        """(Re)build the bitset rows, row cache and edge count from CSR."""
-        indptr, indices = self.indptr, self.indices
-        bits = [0] * self.n
-        rows: List[List[int]] = []
-        edge_count = 0
-        for u in range(self.n):
-            row = list(indices[indptr[u]: indptr[u + 1]])
-            rows.append(row)
-            mask = 0
-            for v in row:
-                mask |= 1 << v
-                if v > u:
-                    edge_count += 1
-            bits[u] = mask
-        self.bits = bits
-        self._rows = rows
-        self._edge_count = edge_count
+        """Reset the lazily derived structures after adopting CSR arrays.
+
+        Symmetric adjacency means ``len(indices)`` counts each edge twice,
+        so the edge count is available without a scan; the bitset rows and
+        the row cache stay unmaterialised until a consumer asks.
+        """
+        self._bits = None
+        self._rows_cache = None
+        self._edge_count = len(self.indices) // 2
+
+    def nbytes(self) -> int:
+        """Return the canonical (CSR + sides) storage footprint in bytes.
+
+        Counts only the buffer-backed arrays -- the lazily derived bitset
+        rows and row cache are excluded, matching what the shm transport
+        ships and what the memory-budget accounting of
+        :class:`~repro.engine.cache.SchemaCache` needs to bound.
+        """
+        total = 0
+        for buf in (self.indptr, self.indices, self.sides):
+            if buf is None:
+                continue
+            try:
+                total += memoryview(buf).nbytes
+            except TypeError:  # adopted plain sequences: estimate at 8B/entry
+                total += 8 * len(buf)
+        return total
 
     # ------------------------------------------------------------------
     # pickling (worker transport)
@@ -429,8 +495,13 @@ class IndexedGraph:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, IndexedGraph):
             return NotImplemented
-        return self.n == other.n and self.bits == other.bits and (
-            (self.sides is None) == (other.sides is None)
+        # the CSR arrays are canonical (ascending rows), so comparing them
+        # avoids materialising the lazy bitset rows on large graphs
+        return (
+            self.n == other.n
+            and list(self.indptr) == list(other.indptr)
+            and list(self.indices) == list(other.indices)
+            and (self.sides is None) == (other.sides is None)
             and (self.sides is None or list(self.sides) == list(other.sides))
         )
 

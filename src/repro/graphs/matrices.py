@@ -5,19 +5,34 @@ sanity checks in the tests and for the benchmark harnesses that report
 instance statistics (density, degree distribution).  They are not used by
 the core algorithms, which all work directly on the adjacency-set
 representation.
+
+numpy is an *optional* dependency of this library (``dependencies = []``;
+install the ``[numpy]`` extra to get it).  This module therefore imports
+it lazily: the matrix constructors raise a typed
+:class:`~repro.exceptions.MissingDependencyError` when numpy is absent,
+while :func:`density` and :func:`degree_histogram` keep working without
+it.
 """
 
 from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
-import numpy as np
-
+from repro.exceptions import MissingDependencyError
 from repro.graphs.bipartite import BipartiteGraph
 from repro.graphs.graph import Graph, Vertex
 
 
-def adjacency_matrix(graph: Graph, order: Sequence[Vertex] = None) -> Tuple[np.ndarray, List[Vertex]]:
+def _numpy(feature: str):
+    """Import and return numpy, or raise the typed optional-dep error."""
+    try:
+        import numpy as np
+    except ImportError:
+        raise MissingDependencyError("numpy", feature) from None
+    return np
+
+
+def adjacency_matrix(graph: Graph, order: Sequence[Vertex] = None) -> Tuple["np.ndarray", List[Vertex]]:
     """Return the 0/1 adjacency matrix and the vertex order used.
 
     Parameters
@@ -26,6 +41,7 @@ def adjacency_matrix(graph: Graph, order: Sequence[Vertex] = None) -> Tuple[np.n
         Optional explicit vertex ordering; defaults to the deterministic
         ``sorted_vertices`` order.
     """
+    np = _numpy("adjacency_matrix")
     vertices = list(order) if order is not None else graph.sorted_vertices()
     index = {v: i for i, v in enumerate(vertices)}
     matrix = np.zeros((len(vertices), len(vertices)), dtype=np.int8)
@@ -40,8 +56,9 @@ def biadjacency_matrix(
     graph: BipartiteGraph,
     row_order: Sequence[Vertex] = None,
     column_order: Sequence[Vertex] = None,
-) -> Tuple[np.ndarray, List[Vertex], List[Vertex]]:
+) -> Tuple["np.ndarray", List[Vertex], List[Vertex]]:
     """Return the biadjacency matrix (rows = ``V1``, columns = ``V2``)."""
+    np = _numpy("biadjacency_matrix")
     rows = list(row_order) if row_order is not None else sorted(graph.left(), key=repr)
     columns = (
         list(column_order)

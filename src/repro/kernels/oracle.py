@@ -36,7 +36,7 @@ from collections import OrderedDict
 from typing import Iterable, List, Optional, Set
 
 from repro.graphs.indexed import IndexedGraph
-from repro.kernels.bfs import KernelScratch, bfs_levels_row, bfs_parents_row
+from repro.kernels.backend import KernelBackend, resolve_backend
 
 
 class OracleStats:
@@ -74,6 +74,18 @@ class OracleStats:
         return self.hits / lookups
 
 
+def _row_bytes(row: Optional[array]) -> int:
+    """Bytes held by one cached row (0 for an unmaterialised slot)."""
+    if row is None:
+        return 0
+    return len(row) * row.itemsize
+
+
+def _entry_bytes(entry: List[Optional[array]]) -> int:
+    """Bytes held by one ``[levels, parents]`` source entry."""
+    return _row_bytes(entry[0]) + _row_bytes(entry[1])
+
+
 class DistanceOracle:
     """LRU of per-source BFS distance/parent rows on one immutable graph.
 
@@ -87,6 +99,19 @@ class DistanceOracle:
     maxsize:
         Maximum number of *sources* kept (each source holds its distance
         row and, when requested, its parent row).
+    backend:
+        The :class:`~repro.kernels.backend.KernelBackend` lane producing
+        the rows; ``None`` resolves the process default
+        (``REPRO_KERNEL_BACKEND`` or the ``array`` lane).  Rows are
+        byte-identical whichever lane runs.
+    memory_budget_bytes:
+        Optional hard bound on the bytes held by cached rows.  Each
+        materialised row costs ``4 * n`` bytes; when an insert pushes
+        :meth:`bytes_held` past the budget, least-recently-used sources
+        are evicted (counted in ``stats.evictions``) until the oracle
+        fits again -- the most recent source always survives, so a
+        budget smaller than one row degrades to compute-every-time
+        instead of failing.
 
     Examples
     --------
@@ -103,8 +128,11 @@ class DistanceOracle:
         "indexed",
         "stats",
         "maxsize",
+        "backend",
+        "memory_budget_bytes",
         "scratch",
         "_rows",
+        "_bytes",
         "_components",
     )
 
@@ -113,15 +141,22 @@ class DistanceOracle:
         indexed: IndexedGraph,
         stats: Optional[OracleStats] = None,
         maxsize: int = 1024,
+        backend: Optional[KernelBackend] = None,
+        memory_budget_bytes: Optional[int] = None,
     ) -> None:
         if maxsize < 1:
             raise ValueError("maxsize must be positive")
+        if memory_budget_bytes is not None and memory_budget_bytes < 1:
+            raise ValueError("memory_budget_bytes must be positive (or None)")
         self.indexed = indexed
         self.stats = stats if stats is not None else OracleStats()
         self.maxsize = maxsize
-        self.scratch = KernelScratch(indexed.n)
+        self.backend = backend if backend is not None else resolve_backend(None)
+        self.memory_budget_bytes = memory_budget_bytes
+        self.scratch = self.backend.scratch(indexed)
         # source id -> [levels row | None, parents row | None]
         self._rows: "OrderedDict[int, List[Optional[array]]]" = OrderedDict()
+        self._bytes = 0
         self._components: Optional[array] = None
 
     # ------------------------------------------------------------------
@@ -134,7 +169,9 @@ class DistanceOracle:
             # a source entry may exist with only the other row kind
             # materialised; count hit/miss by the BFS actually saved
             self.stats.misses += 1
-            entry[0] = bfs_levels_row(self.indexed, source, self.scratch)
+            entry[0] = self.backend.bfs_levels_row(self.indexed, source, self.scratch)
+            self._bytes += _row_bytes(entry[0])
+            self._enforce_budget()
         else:
             self.stats.hits += 1
         return entry[0]
@@ -150,27 +187,61 @@ class DistanceOracle:
         entry = self._entry(source)
         if entry[1] is None:
             self.stats.misses += 1
-            entry[1] = bfs_parents_row(self.indexed, source, self.scratch)
+            entry[1] = self.backend.bfs_parents_row(self.indexed, source, self.scratch)
+            self._bytes += _row_bytes(entry[1])
+            self._enforce_budget()
         else:
             self.stats.hits += 1
         return entry[1]
 
     def ensure(self, sources: Iterable[int], parents: bool = False) -> None:
-        """Grouped prefill: materialise rows for every source in one pass.
+        """Grouped prefill: materialise rows for every source in one batch.
 
         The batch engine calls this with the deduplicated union of a
         batch's terminal sources, so one oracle fill serves every query
-        that shares a terminal.  Unknown / out-of-range ids are ignored
-        (the solvers raise their own typed errors later).
+        that shares a terminal.  Missing rows are produced by the active
+        lane's *grouped* kernel -- on the numpy lane that is one batched
+        multi-source traversal, not a per-source loop.  Unknown /
+        out-of-range ids are ignored (the solvers raise their own typed
+        errors later).
         """
         n = self.indexed.n
+        kind = 1 if parents else 0
+        missing: List[int] = []
+        pending = set()
         for source in sources:
             if not (isinstance(source, int) and 0 <= source < n):
                 continue
-            if parents:
-                self.parents(source)
+            if source in pending:
+                continue
+            entry = self._rows.get(source)
+            if entry is not None and entry[kind] is not None:
+                self._rows.move_to_end(source)
+                self.stats.hits += 1
             else:
-                self.levels(source)
+                pending.add(source)
+                missing.append(source)
+        if not missing:
+            return
+        if parents:
+            produced = self.backend.grouped_bfs_parents(
+                self.indexed, missing, self.scratch
+            )
+        else:
+            produced = self.backend.grouped_bfs_levels(
+                self.indexed, missing, self.scratch
+            )
+        for source, row in zip(missing, produced):
+            self.stats.misses += 1
+            entry = self._entry(source)
+            if entry[kind] is None:
+                entry[kind] = row
+                self._bytes += _row_bytes(row)
+        self._enforce_budget()
+
+    def bytes_held(self) -> int:
+        """Return the bytes currently held by cached rows (both kinds)."""
+        return self._bytes
 
     def _entry(self, source: int) -> List[Optional[array]]:
         """Return (creating if absent) the ``[levels, parents]`` slot of a source.
@@ -186,9 +257,22 @@ class DistanceOracle:
         entry = [None, None]
         rows[source] = entry
         while len(rows) > self.maxsize:
-            rows.popitem(last=False)
-            self.stats.evictions += 1
+            self._evict_oldest()
         return entry
+
+    def _evict_oldest(self) -> None:
+        """Drop the least-recently-used source and release its bytes."""
+        _, dropped = self._rows.popitem(last=False)
+        self._bytes -= _entry_bytes(dropped)
+        self.stats.evictions += 1
+
+    def _enforce_budget(self) -> None:
+        """Evict LRU sources until the byte budget holds (keep the newest)."""
+        budget = self.memory_budget_bytes
+        if budget is None:
+            return
+        while self._bytes > budget and len(self._rows) > 1:
+            self._evict_oldest()
 
     # ------------------------------------------------------------------
     # structure
@@ -246,7 +330,11 @@ class DistanceOracle:
         are dropped and counted as ``invalidated``.
         """
         successor = DistanceOracle(
-            new_indexed, stats=self.stats, maxsize=self.maxsize
+            new_indexed,
+            stats=self.stats,
+            maxsize=self.maxsize,
+            backend=self.backend,
+            memory_budget_bytes=self.memory_budget_bytes,
         )
         labels = self.component_labels()
         touched_components: Set[int] = {
@@ -257,15 +345,20 @@ class DistanceOracle:
                 self.stats.invalidated += 1
             else:
                 successor._rows[source] = entry
+                successor._bytes += _entry_bytes(entry)
         return successor
 
     def drop_all(self) -> None:
         """Invalidate every cached row (vertex churn re-keys all ids)."""
         self.stats.invalidated += len(self._rows)
         self._rows.clear()
+        self._bytes = 0
 
     def stats_dict(self) -> dict:
         """Return the shared counters plus this oracle's current size."""
         data = self.stats.as_dict()
         data["rows"] = len(self._rows)
+        data["bytes"] = self._bytes
+        data["memory_budget_bytes"] = self.memory_budget_bytes
+        data["backend"] = self.backend.name
         return data

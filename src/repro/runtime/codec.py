@@ -158,6 +158,7 @@ def encode_result(result: ConnectionResult) -> dict:
             "request_id": result.provenance.request_id,
             "tenant": result.provenance.tenant,
             "phases": result.provenance.phases,
+            "backend": result.provenance.backend,
         },
     }
 
@@ -229,6 +230,7 @@ def decode_result(
             request_id=stored.get("request_id"),
             tenant=stored.get("tenant"),
             phases=stored.get("phases"),
+            backend=stored.get("backend"),
         )
         return ConnectionResult(
             request=request,

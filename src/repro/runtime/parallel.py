@@ -343,7 +343,11 @@ class ParallelExecutor:
             self._shards_total.inc(len(shards))
             self._shard_fanout.observe(len(shards))
             # workers never ship the parent's disk cache or its metrics
-            # registry (registries hold callables and do not pickle)
+            # registry (registries hold callables and do not pickle); the
+            # kernel_backend / memory_budget_bytes fields DO ride along --
+            # the lane is a plain string, so each worker re-resolves the
+            # same backend after fork or spawn (numpy-lane workers adopt
+            # the shm segment's bytes zero-copy via np.frombuffer)
             worker_config = service.config.with_overrides(
                 cache_dir=None, metrics=None
             )

@@ -421,9 +421,16 @@ class TestProvenance:
             stream.extend_budget(-1)
 
     def test_golden_provenance_record(self):
-        """One full provenance record, pinned byte-for-byte (sans timing)."""
+        """One full provenance record, pinned byte-for-byte (sans timing).
+
+        The kernel lane is pinned to ``array`` explicitly so the fixture
+        stays stable when the suite runs under ``REPRO_KERNEL_BACKEND``
+        overrides (the lanes differ only in the ``backend`` stamp).
+        """
         schema = figure1_relational_schema()
-        service = ConnectionService(schema=schema)
+        service = ConnectionService(
+            schema=schema, config=ServiceConfig(kernel_backend="array")
+        )
         service.connect(figure1_query())  # warm the context: pin a cache hit
         result = service.connect(figure1_query())
         current = result.to_dict(include_timing=False)
@@ -550,7 +557,7 @@ class TestPackaging:
     def test_version_and_exports(self):
         import repro
 
-        assert repro.__version__ == "1.8.0"
+        assert repro.__version__ == "1.9.0"
         for name in (
             "BlockClassifier",
             "ConnectionRequest",

@@ -107,6 +107,24 @@ def test_required_coverage_is_present():
         assert needle in corpus["observability.md"], (
             f"observability.md misses {needle}"
         )
+    # backends guide: lane selection, identity contract, budgets, gauges
+    for needle in (
+        "REPRO_KERNEL_BACKEND",
+        "kernel_backend",
+        "MissingDependencyError",
+        "byte-identical",
+        "memory_budget_bytes",
+        "repro_memory_held_bytes",
+        "repro_memory_budget_bytes",
+        "np.frombuffer",
+        "large_random_bipartite",
+        "KN5",
+        "KN6",
+    ):
+        assert needle in corpus["backends.md"], f"backends.md misses {needle}"
+    # and it is reachable from the perf guide and the module map
+    for page in ("performance.md", "architecture.md"):
+        assert "backends.md" in corpus[page], f"{page} misses the backends cross-link"
     # the runtime and dynamic guides cross-link into the kernel layer
     assert "performance.md" in corpus["runtime.md"]
     assert "performance.md" in corpus["dynamic.md"]
