@@ -7,7 +7,11 @@ in-process replay of a smoke-scaled mixed-traffic plan -- every op
 kind, both deliberate-error paths, two tenant populations -- with the
 serial verify oracle re-run and the checksums asserted equal.  **LD2**
 records the cost of one full soak pass (churn + query + enumerate
-cycles with resource probes) and asserts no probe was flagged.
+cycles with resource probes) and asserts no probe was flagged.  **CH1**
+records an in-process chaos replay of the committed chaos spec -- two
+scheduled registry-swap "kills" mid-run -- and asserts the chaos
+checksum still equals the serial oracle's (the fault plane's recovery
+overhead is thereby part of the committed trajectory).
 
 Both cases time explicitly with ``perf_counter`` (not the
 pytest-benchmark stats), so they record real wall times under CI's
@@ -18,6 +22,7 @@ paths, smaller request count and fewer soak cycles.
 """
 
 import copy
+import gc
 import os
 from time import perf_counter
 
@@ -44,6 +49,7 @@ def test_load_replay_in_process(benchmark):
     requests = 24 if SMOKE else 120
     spec = _spec(requests, cycles=2)
 
+    gc.collect()  # a mid-run gen-2 pause would swamp the measurement
     started = perf_counter()
     report = run_load(spec, mode="in-process", pace=False, soak=False)
     wall_seconds = perf_counter() - started
@@ -75,6 +81,7 @@ def test_load_soak_cycles(benchmark):
     cycles = 2 if SMOKE else 4
     spec = _spec(requests=12, cycles=cycles)
 
+    gc.collect()  # a mid-run gen-2 pause would swamp the measurement
     started = perf_counter()
     soak_report = run_soak(spec)
     wall_seconds = perf_counter() - started
@@ -91,4 +98,37 @@ def test_load_soak_cycles(benchmark):
         wall_seconds=round(wall_seconds, 6),
         probes=sorted(probes),
         leaks=0,
+    )
+
+
+def test_chaos_replay_in_process(benchmark):
+    """CH1: in-process chaos replay (two kills) vs the serial oracle."""
+    from repro.load.chaos import chaos_spec, run_chaos
+
+    spec = chaos_spec()
+
+    gc.collect()  # a mid-run gen-2 pause would swamp the measurement
+    started = perf_counter()
+    report = run_chaos(spec, mode="in-process", pace=False)
+    wall_seconds = perf_counter() - started
+
+    chaos = dict(report.extra)["chaos"]
+    assert chaos["kills"] == chaos["scheduled_kills"] == 2
+    assert report.checksum and report.checksum == report.oracle_checksum
+    assert report.ok(), report.budget_violations
+    benchmark.pedantic(
+        run_chaos,
+        args=(spec,),
+        kwargs={"mode": "in-process", "pace": False},
+        rounds=1,
+        iterations=1,
+    )
+    record(
+        benchmark,
+        experiment="CH1",
+        n=report.requests,
+        wall_seconds=round(wall_seconds, 6),
+        kills=chaos["kills"],
+        kill_indices=chaos["kill_indices"],
+        verify="match",
     )

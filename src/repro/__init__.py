@@ -92,6 +92,7 @@ from repro.core import (
     is_nonredundant_cover,
     minimum_cover_size,
 )
+from repro.faults import FaultPlan
 from repro.exceptions import (
     BipartitenessError,
     DisconnectedTerminalsError,
@@ -141,6 +142,7 @@ from repro.server import (
     RemoteError,
     ReproClient,
     ReproServer,
+    RetryPolicy,
     SchemaRegistry,
     TenantLimits,
 )
@@ -154,7 +156,7 @@ from repro.steiner import (
     steiner_tree_dreyfus_wagner,
 )
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "BipartiteGraph",
@@ -171,6 +173,7 @@ __all__ = [
     "ERSchema",
     "EditOp",
     "EnumerationStream",
+    "FaultPlan",
     "Graph",
     "GraphError",
     "GraphIndex",
@@ -195,6 +198,7 @@ __all__ = [
     "ReproClient",
     "ReproError",
     "ReproServer",
+    "RetryPolicy",
     "SchemaDelta",
     "SchemaEditor",
     "SchemaRegistry",

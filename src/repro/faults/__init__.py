@@ -1,0 +1,41 @@
+"""Deterministic fault injection for chaos and crash-recovery testing.
+
+``repro.faults`` is the seam every robustness test in this repository
+pulls on: a :class:`FaultPlan` compiled from a JSON spec (the same
+validate-then-freeze shape as ``repro.load.LoadSpec``) names *where*
+faults fire -- typed site ids such as ``"disk-write-tear"`` or
+``"wire-frame-drop"`` -- and *when* -- an explicit hit schedule, a
+modulus, or a seeded probability.  :class:`FaultInjector` executes that
+schedule with zero ambient randomness, so a chaos run that found a bug
+replays bit-for-bit.
+
+Production code pays one attribute check: the process-wide default is
+``ACTIVE.injector is None`` and every instrumented site guards on that
+before doing anything else.  Install a plan with :func:`injected` (a
+context manager) in tests, or :func:`install`/:func:`clear` directly.
+
+See ``docs/resilience.md`` for the fault taxonomy and the chaos-mode
+load harness built on top (``python -m repro load --chaos``).
+"""
+
+from repro.faults.plan import (
+    ACTIVE,
+    SITES,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    clear,
+    injected,
+    install,
+)
+
+__all__ = [
+    "ACTIVE",
+    "SITES",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "clear",
+    "injected",
+    "install",
+]

@@ -32,11 +32,15 @@ exits (the well-known CPython attach-side tracking bug).
 
 from __future__ import annotations
 
+import atexit
+import itertools
 import os
 import pickle
 import struct
+import weakref
 from array import array
-from typing import Optional, Sequence, Tuple
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
 
 from repro.graphs.indexed import GraphIndex, IndexedGraph
 
@@ -49,6 +53,38 @@ except ImportError:  # pragma: no cover
 #: bipartition), sidecar bytes.
 _HEADER = struct.Struct("<8sqqqqq")
 _MAGIC = b"RPROCSR1"
+
+#: Every segment this module creates is named
+#: ``<SEGMENT_PREFIX>-<creator pid>-<seq>``, so a recovery sweep can
+#: tell (a) that a segment is ours and (b) whether its creator is still
+#: alive -- the key the orphan reaper (:func:`sweep_orphans`) matches on.
+SEGMENT_PREFIX = "repro-shm"
+
+_SEGMENT_SEQ = itertools.count(1)
+
+#: Segments created (owned) by this process, for the atexit unlink hook.
+#: Weak: an executor that already unlinked and dropped its segments must
+#: not be kept alive (double-unlink is swallowed either way).
+_OWNED_SEGMENTS: "weakref.WeakSet" = weakref.WeakSet()
+
+
+@atexit.register
+def _unlink_owned_segments() -> None:
+    """Unlink every still-owned segment at interpreter exit.
+
+    The GC finalizer on :class:`~repro.runtime.parallel.ParallelExecutor`
+    covers orderly teardown; this hook covers the *abnormal* exits that
+    still unwind the interpreter -- an unhandled exception, ``sys.exit``
+    from a signal handler (the ``python -m repro serve`` SIGTERM path) --
+    so a dying parent does not strand segments in ``/dev/shm``.
+    SIGKILL-class deaths bypass both; those are the orphan sweep's job.
+    """
+    for segment in list(_OWNED_SEGMENTS):
+        for method in (segment.unlink, segment.close):
+            try:
+                method()
+            except Exception:
+                pass
 
 
 def shared_memory_available() -> bool:
@@ -94,7 +130,19 @@ def create_segment(
         + (len(sidecar))
         + (len(sides_bytes) if sides_bytes is not None else 0)
     )
-    segment = _shared_memory.SharedMemory(create=True, size=max(total, 1))
+    segment = None
+    for _ in range(64):
+        name = f"{SEGMENT_PREFIX}-{os.getpid()}-{next(_SEGMENT_SEQ)}"
+        try:
+            segment = _shared_memory.SharedMemory(
+                name=name, create=True, size=max(total, 1)
+            )
+            break
+        except FileExistsError:  # stale orphan from a recycled pid
+            continue
+    if segment is None:  # pragma: no cover - 64 collisions in a row
+        segment = _shared_memory.SharedMemory(create=True, size=max(total, 1))
+    _OWNED_SEGMENTS.add(segment)
     buffer = segment.buf
     _HEADER.pack_into(
         buffer,
@@ -173,3 +221,52 @@ def _untrack_attachment(segment) -> None:
             resource_tracker.unregister(segment._name, "shared_memory")
     except Exception:  # pragma: no cover
         pass
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe; unknown (EPERM) counts as alive."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True
+    return True
+
+
+def sweep_orphans(shm_dir: str = "/dev/shm") -> List[str]:
+    """Reap ``repro-shm`` segments whose creator process is dead.
+
+    A SIGKILLed parent (or a worker killed mid-shard) can strand
+    segments that neither the GC finalizer nor the atexit hook got to
+    unlink.  Because :func:`create_segment` embeds the creator pid in
+    the name, recovery is a directory scan: any
+    ``<SEGMENT_PREFIX>-<pid>-<seq>`` entry whose pid no longer exists is
+    unlinked.  Segments of live processes (this one included) are never
+    touched.  Returns the reaped names; best-effort and POSIX-only
+    (``[]`` elsewhere) -- the executor runs it at startup and on close.
+    """
+    if not shared_memory_available():
+        return []
+    root = Path(shm_dir)
+    try:
+        entries = list(root.iterdir())
+    except OSError:
+        return []
+    reaped: List[str] = []
+    marker = f"{SEGMENT_PREFIX}-"
+    for entry in entries:
+        name = entry.name
+        if not name.startswith(marker):
+            continue
+        parts = name[len(marker):].split("-")
+        if not parts or not parts[0].isdigit():
+            continue
+        if _pid_alive(int(parts[0])):
+            continue
+        try:
+            entry.unlink()
+        except OSError:
+            continue
+        reaped.append(name)
+    return reaped

@@ -33,7 +33,12 @@ This package is the other half of the measurement story:
   (:class:`~repro.load.soak.SoakMonitor`), flagging monotonic growth in
   shm segments, oracle rows, schema contexts, or disk-cache bytes;
 * :func:`~repro.load.runner.run_load` -- the orchestrator behind
-  ``python -m repro load`` (see ``docs/load.md``).
+  ``python -m repro load`` (see ``docs/load.md``);
+* :mod:`~repro.load.chaos` -- chaos mode (``python -m repro load
+  --chaos``): a supervisor SIGKILLs and restarts the server at points
+  scheduled by a :class:`~repro.faults.plan.FaultPlan` while traffic is
+  in flight, and the run passes only if the answer checksum still
+  equals the serial oracle's (see ``docs/resilience.md``).
 
 Verify mode replays every planned operation against a **serial oracle**
 (one in-process client, plan order) and compares answer checksums, so a
@@ -42,6 +47,7 @@ are guaranteed for the same seed regardless of client count or
 transport.
 """
 
+from repro.load.chaos import CHAOS_SPEC, chaos_spec, default_fault_plan, run_chaos
 from repro.load.report import LoadReport, OpStats
 from repro.load.runner import run_load, serial_oracle_checksum
 from repro.load.schedule import PlannedOp, build_plan
@@ -51,6 +57,7 @@ from repro.load.spec import ArrivalSpec, Budgets, LoadSpec, SoakSpec, TenantSpec
 __all__ = [
     "ArrivalSpec",
     "Budgets",
+    "CHAOS_SPEC",
     "LoadReport",
     "LoadSpec",
     "OpStats",
@@ -60,6 +67,9 @@ __all__ = [
     "SoakSpec",
     "TenantSpec",
     "build_plan",
+    "chaos_spec",
+    "default_fault_plan",
+    "run_chaos",
     "run_load",
     "run_soak",
     "serial_oracle_checksum",

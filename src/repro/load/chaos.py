@@ -1,0 +1,341 @@
+"""Chaos mode: kill the server under load and prove no answer corrupts.
+
+``python -m repro load --chaos`` runs a committed load spec while a
+supervisor SIGKILLs and restarts the ``repro serve`` subprocess at
+scheduled points mid-traffic.  The pass criterion is the strongest one
+the stack offers: after every kill, reconnect and resume, the run's
+:func:`~repro.load.clients.samples_checksum` must equal the serial
+oracle checksum -- every answer that crossed a crash (including
+enumeration pages resumed from a continuation token minted by a *dead*
+process) was byte-equivalent to the quiet serial answer.
+
+Determinism contract
+--------------------
+Kill points come from a :class:`~repro.faults.plan.FaultPlan` rule on
+the ``server-kill`` site, evaluated once per *completed* operation: the
+N-th completion triggers a kill exactly when the plan's schedule says
+hit N fires.  No ambient randomness anywhere -- the same spec and the
+same fault plan replay the same experiment, and because the committed
+chaos spec is **query-only** (mutations would die with the server's
+in-memory state), any interleaving of kills must reproduce the identical
+oracle checksum.  That is what makes the chaos checksum itself
+deterministic: it equals the oracle's on every passing run, whether the
+transport was ``wire`` or ``in-process``.
+
+Two failure-injection surfaces implement the "kill":
+
+* ``mode="wire"`` -- a real ``python -m repro serve`` subprocess is
+  SIGKILLed (no drain, no atexit) and respawned **on the same port**;
+  the spec's tenants are re-created idempotently, and client threads
+  retry transport-dead operations with capped backoff until the new
+  incarnation answers;
+* ``mode="in-process"`` -- the shared registry is swapped for a pristine
+  rebuild (:meth:`~repro.load.clients.InProcessTransport.reset`), losing
+  every warm context and admission counter the way a crashed server
+  does, with zero socket latency -- the fast lane for determinism tests.
+
+See ``docs/resilience.md`` for the recovery invariants this mode proves.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import replace as _dataclass_replace
+from typing import List, Optional
+
+from repro.exceptions import ValidationError
+from repro.faults.plan import FaultPlan
+from repro.load.clients import (
+    InProcessTransport,
+    WireTransport,
+    run_plan,
+    samples_checksum,
+)
+from repro.load.report import LoadReport, build_report
+from repro.load.runner import (
+    _create_tenants,
+    build_graphs,
+    build_registry,
+    serial_oracle_checksum,
+    spawn_server,
+    stop_server,
+)
+from repro.load.schedule import build_plan
+from repro.load.spec import LoadSpec
+
+#: The committed chaos acceptance spec (``python -m repro load --chaos
+#: --smoke``): query-only traffic -- connect/batch/interpret, paged
+#: enumeration that must splice across restarts, and deliberate
+#: auth/quota rejections -- sized for a CI gate with two kill cycles.
+CHAOS_SPEC: dict = {
+    "name": "chaos-smoke",
+    "tenants": [
+        {
+            "name": "alpha",
+            "schema": {
+                "generator": "random_62_chordal_graph",
+                "params": {"blocks": 3, "rng": 11},
+            },
+        },
+        {
+            "name": "beta",
+            "schema": {
+                "generator": "random_alpha_schema_graph",
+                "params": {"relations": 4, "rng": 7},
+            },
+        },
+        {
+            "name": "gated",
+            "schema": {
+                "generator": "random_62_chordal_graph",
+                "params": {"blocks": 3, "rng": 5},
+            },
+            "token": "chaos-token",
+            "limits": {"max_batch_requests": 8},
+        },
+    ],
+    "arrival": {"schedule": "poisson", "rate": 120.0, "requests": 48, "seed": 3},
+    "profile": {
+        "connect": 5,
+        "batch": 2,
+        "interpret": 2,
+        "enumerate": 3,
+        "bad_auth": 1,
+        "over_quota": 1,
+    },
+    "terminals": 3,
+    "batch_size": 3,
+    "enumerate": {"budget": 2, "pages": 3, "reconnect": True},
+    "clients": 4,
+    "seed": 7,
+    "verify": True,
+    "budgets": {
+        "error_rates": {"internal": 0.0, "protocol": 0.0},
+    },
+}
+
+#: Error kinds a chaos client absorbs and retries at the operation level
+#: (a dead or restarting server, and the window after respawn before the
+#: tenants are re-created).  Everything else is a real answer.
+CHAOS_RETRY_KINDS = ("transport", "timeout", "unknown-tenant")
+
+
+def chaos_spec() -> LoadSpec:
+    """The parsed committed chaos spec."""
+    return LoadSpec.from_dict(CHAOS_SPEC)
+
+
+def default_fault_plan(operations: int, kills: int, seed: int = 0) -> FaultPlan:
+    """A ``server-kill`` schedule with ``kills`` evenly spaced kill points.
+
+    Hit index ``i`` is the ``i``-th completed operation, so the plan
+    kills after roughly ``operations/(kills+1)`` completions, twice that,
+    and so on -- every kill lands strictly mid-run, never after the last
+    operation.
+    """
+    if kills < 1:
+        raise ValidationError("chaos needs kills >= 1")
+    if operations < kills + 1:
+        raise ValidationError(
+            f"a plan of {operations} operation(s) cannot host {kills} kill(s)"
+        )
+    at = []
+    for i in range(kills):
+        index = (operations * (i + 1)) // (kills + 1) - 1
+        at.append(max(0, index))
+    unique = tuple(sorted(set(at)))
+    return FaultPlan.from_dict(
+        {"seed": seed, "rules": [{"site": "server-kill", "at": list(unique)}]}
+    )
+
+
+class _ChaosWireTransport(WireTransport):
+    """A :class:`WireTransport` whose operations survive server death.
+
+    ``run_op`` retries :data:`CHAOS_RETRY_KINDS` outcomes with capped
+    exponential backoff inside one time budget, discarding the thread's
+    dead client so the next attempt reconnects to the restarted server.
+    Operations retry *whole* -- a mid-enumeration death replays the
+    stream from page one, which is answer-identical by determinism.
+    """
+
+    def __init__(self, host, port, spec, *, retry_budget_s: float = 45.0):
+        """Wrap the wire transport with a per-op chaos retry budget."""
+        super().__init__(host, port, spec)
+        self._retry_budget_s = retry_budget_s
+        self._retry_lock = threading.Lock()
+        self.transport_retries = 0
+
+    def run_op(self, op):
+        """Execute one op, absorbing server-death windows by retrying."""
+        deadline = time.monotonic() + self._retry_budget_s
+        delay = 0.05
+        while True:
+            kind, digest = super().run_op(op)
+            if kind not in CHAOS_RETRY_KINDS or time.monotonic() >= deadline:
+                return kind, digest
+            with self._retry_lock:
+                self.transport_retries += 1
+            client = getattr(self._local, "client", None)
+            if client is not None:
+                # drop the dead connection; ReproClient.call() redials
+                # lazily on the next attempt
+                client.close()
+            time.sleep(delay)
+            delay = min(delay * 2.0, 1.0)
+
+
+class _ServerSupervisor:
+    """Kill/respawn controller for wire-mode chaos.
+
+    Owns the ``repro serve`` subprocess.  :meth:`on_progress` is the
+    :func:`~repro.load.clients.run_plan` completion callback: each
+    completed operation advances the fault plan's ``server-kill`` hit
+    counter, and a firing SIGKILLs the server (no drain -- the hardest
+    death), respawns it on the same port, and re-creates the tenants.
+    """
+
+    def __init__(self, spec: LoadSpec, injector, process, host: str, port: int):
+        """Supervise ``process`` (serving ``host:port``) for ``spec``."""
+        self._spec = spec
+        self._injector = injector
+        self._process = process
+        self._host = host
+        self._port = port
+        self._lock = threading.Lock()
+        self.kill_indices: List[int] = []
+
+    def on_progress(self, done: int) -> None:
+        """Advance the kill schedule by one completed operation."""
+        with self._lock:
+            if self._injector.fire("server-kill") is None:
+                return
+            self.kill_indices.append(done)
+            self._process.kill()
+            self._process.wait()
+            if self._process.stdout is not None:
+                self._process.stdout.close()
+            self._process, _, _ = spawn_server(port=self._port)
+            _create_tenants(self._spec, self._host, self._port)
+
+    def shutdown(self) -> int:
+        """Drain the current server incarnation; return its exit code."""
+        with self._lock:
+            return stop_server(self._process)
+
+
+class _RegistrySupervisor:
+    """Registry-swap controller for in-process chaos.
+
+    The in-process analogue of :class:`_ServerSupervisor`: a firing
+    ``server-kill`` replaces the transport's registry with a pristine
+    rebuild, so everything a crashed server would lose -- warm schema
+    contexts, admission counters, enumeration stream state -- is lost
+    here too, without sockets or subprocess latency.
+    """
+
+    def __init__(self, spec: LoadSpec, injector, transport) -> None:
+        """Supervise ``transport``'s registry for ``spec``."""
+        self._spec = spec
+        self._injector = injector
+        self._transport = transport
+        self._lock = threading.Lock()
+        self.kill_indices: List[int] = []
+
+    def on_progress(self, done: int) -> None:
+        """Advance the kill schedule by one completed operation."""
+        with self._lock:
+            if self._injector.fire("server-kill") is None:
+                return
+            self.kill_indices.append(done)
+            self._transport.reset(build_registry(self._spec))
+
+
+def run_chaos(
+    spec: LoadSpec,
+    *,
+    mode: str = "wire",
+    fault_plan: Optional[FaultPlan] = None,
+    kills: int = 2,
+    clients: Optional[int] = None,
+    pace: bool = True,
+    retry_budget_s: float = 45.0,
+) -> LoadReport:
+    """Run ``spec`` under scheduled server kills; return the chaos report.
+
+    ``fault_plan`` overrides the default evenly-spaced ``server-kill``
+    schedule (:func:`default_fault_plan` with ``kills`` points).  The
+    spec must be query-only: a mutation applied before a kill dies with
+    the server's in-memory state, so its replay could never match the
+    serial oracle -- chaos rejects such specs up front rather than
+    reporting a spurious corruption.
+
+    The returned report's ``extra`` carries a ``"chaos"`` section with
+    the kill count, the completion indices the kills landed on, and the
+    transport retries absorbed; :meth:`LoadReport.ok` already folds in
+    the checksum-vs-oracle comparison that is chaos's pass criterion.
+    """
+    if mode not in ("in-process", "wire"):
+        raise ValidationError(f"unknown chaos mode {mode!r}")
+    weights = dict(spec.profile)
+    if weights.get("mutate", 0) > 0:
+        raise ValidationError(
+            "chaos specs must be query-only: a mutation applied before a "
+            "kill dies with the server, so its answers cannot match the "
+            "serial oracle (drop the 'mutate' profile weight)"
+        )
+    plan = build_plan(spec, build_graphs(spec))
+    if fault_plan is None:
+        fault_plan = default_fault_plan(len(plan), kills, seed=spec.seed)
+    injector = fault_plan.injector()
+    oracle_checksum = serial_oracle_checksum(spec, plan)
+
+    if mode == "wire":
+        process, host, port = spawn_server()
+        _create_tenants(spec, host, port)
+        transport = _ChaosWireTransport(
+            host, port, spec, retry_budget_s=retry_budget_s
+        )
+        supervisor = _ServerSupervisor(spec, injector, process, host, port)
+    else:
+        transport = InProcessTransport(build_registry(spec), spec)
+        supervisor = _RegistrySupervisor(spec, injector, transport)
+    try:
+        samples, duration = run_plan(
+            plan,
+            transport,
+            clients=clients if clients is not None else spec.clients,
+            pace=pace,
+            on_progress=supervisor.on_progress,
+        )
+    finally:
+        transport.close()
+        if mode == "wire":
+            supervisor.shutdown()
+
+    report = build_report(
+        spec,
+        f"chaos-{mode}",
+        samples,
+        duration,
+        checksum=samples_checksum(samples),
+        oracle_checksum=oracle_checksum,
+    )
+    chaos_info = {
+        "kills": len(supervisor.kill_indices),
+        "kill_indices": list(supervisor.kill_indices),
+        "scheduled_kills": len(fault_plan.schedule("server-kill", len(plan))),
+        "transport_retries": getattr(transport, "transport_retries", 0),
+        "fault_plan": fault_plan.to_dict(),
+    }
+    return _dataclass_replace(report, extra=(("chaos", chaos_info),))
+
+
+__all__ = [
+    "CHAOS_RETRY_KINDS",
+    "CHAOS_SPEC",
+    "chaos_spec",
+    "default_fault_plan",
+    "run_chaos",
+]

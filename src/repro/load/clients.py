@@ -169,18 +169,35 @@ class InProcessTransport:
     def close(self) -> None:
         """Nothing to release (the caller owns the registry)."""
 
+    def reset(self, registry) -> None:
+        """Swap in a fresh registry -- the in-process analogue of a server
+        restart.
+
+        The chaos harness (:mod:`repro.load.chaos`) calls this at its
+        scheduled kill points: every warm context, admission counter and
+        enumeration stream the old registry held is gone, exactly as a
+        SIGKILLed server loses them.  In-flight operations finish (and
+        release) against the registry they were admitted on; operations
+        admitted after the swap see only the pristine replacement.
+        """
+        with self._registry_lock:
+            self._registry = registry
+
     def _solve(self, tenant: str, fn) -> Any:
         """Authenticate, admit, lock, run ``fn(service)``, release."""
         with self._registry_lock:
-            self._registry.authenticate(tenant, None)
-            self._registry.acquire(tenant)
-            service = self._registry.service(tenant)
+            # captured so the admit/release pair lands on one registry
+            # even when reset() swaps it mid-operation
+            registry = self._registry
+            registry.authenticate(tenant, None)
+            registry.acquire(tenant)
+            service = registry.service(tenant)
         try:
             with self._tenant_locks[tenant]:
                 return fn(service)
         finally:
             with self._registry_lock:
-                self._registry.release(tenant)
+                registry.release(tenant)
 
     def run_op(self, op: PlannedOp) -> Tuple[str, Optional[str]]:
         """Execute one planned op; return ``(error_kind, digest)``.

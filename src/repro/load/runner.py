@@ -295,14 +295,20 @@ _BANNER = re.compile(r"listening on ([\d.]+):(\d+)")
 
 
 def spawn_server(
-    *, cache_dir: Optional[str] = None, timeout: float = 30.0
+    *,
+    cache_dir: Optional[str] = None,
+    timeout: float = 30.0,
+    port: int = 0,
 ) -> Tuple[subprocess.Popen, str, int]:
-    """Start ``python -m repro serve`` on a free port; return (proc, host, port).
+    """Start ``python -m repro serve``; return (proc, host, port).
 
+    ``port=0`` (the default) binds a free port; the chaos supervisor
+    passes the *previous* incarnation's port so clients holding a dead
+    address reconnect to the restarted server without rediscovery.
     Reads the child's stdout until the listening banner appears.  The
     caller owns the process -- pass it to :func:`stop_server` when done.
     """
-    command = [sys.executable, "-m", "repro", "serve", "--port", "0"]
+    command = [sys.executable, "-m", "repro", "serve", "--port", str(port)]
     if cache_dir is not None:
         command += ["--cache-dir", cache_dir]
     process = subprocess.Popen(

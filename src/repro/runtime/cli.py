@@ -171,6 +171,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip the spec's soak section (burst phase only)",
     )
     load.add_argument(
+        "--chaos", action="store_true",
+        help=(
+            "chaos mode: SIGKILL and restart the spawned server at "
+            "scheduled points mid-run; pass requires the answer checksum "
+            "to still match the serial oracle (query-only specs; "
+            "with --smoke, runs the committed chaos spec)"
+        ),
+    )
+    load.add_argument(
+        "--kills", type=int, default=2,
+        help="scheduled server kills in chaos mode (default: 2)",
+    )
+    load.add_argument(
         "--json", dest="json_path", default=None,
         help="write the full LoadReport as JSON to this path ('-' = stdout)",
     )
@@ -317,7 +330,12 @@ def _load_cmd(args: argparse.Namespace) -> int:
 
     try:
         if args.smoke:
-            spec = smoke_spec()
+            if args.chaos:
+                from repro.load.chaos import chaos_spec
+
+                spec = chaos_spec()
+            else:
+                spec = smoke_spec()
         elif args.spec == "-":
             spec = LoadSpec.from_json(sys.stdin.read())
         elif args.spec is not None:
@@ -335,7 +353,21 @@ def _load_cmd(args: argparse.Namespace) -> int:
         if args.in_process and args.connect:
             raise ValidationError("--in-process and --connect are exclusive")
 
-        if args.in_process:
+        if args.chaos:
+            from repro.load.chaos import run_chaos
+
+            if args.connect:
+                raise ValidationError(
+                    "--chaos must own the server process it kills; "
+                    "it cannot target --connect"
+                )
+            report = run_chaos(
+                spec,
+                mode="in-process" if args.in_process else "wire",
+                kills=args.kills,
+                clients=args.clients,
+            )
+        elif args.in_process:
             report = run_load(
                 spec, mode="in-process",
                 clients=args.clients, soak=not args.no_soak,

@@ -54,6 +54,7 @@ from pathlib import Path
 from typing import Optional, Union
 
 from repro.core.classification import ChordalityReport
+from repro.faults.plan import ACTIVE as _FAULTS
 
 #: On-disk format version.  Bumping it retires every existing entry at
 #: once (old files live under a ``v<old>/`` directory that is simply never
@@ -214,7 +215,14 @@ class DiskCache:
         return record
 
     def _write(self, path: Path, record: dict) -> None:
-        """Atomically write one record (temp file + ``os.replace``)."""
+        """Atomically write one record (temp file + ``os.replace``).
+
+        The ``disk-write-tear`` fault site truncates the temp file to
+        half its bytes before the rename -- the on-disk outcome of a
+        process killed mid-write whose rename still landed.  Readers
+        must treat the torn entry as a miss and rebuild (:meth:`_read`'s
+        any-anomaly-is-a-miss contract), which the fault suite proves.
+        """
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp_name = tempfile.mkstemp(
@@ -223,6 +231,14 @@ class DiskCache:
             try:
                 with os.fdopen(fd, "wb") as handle:
                     pickle.dump(record, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                injector = _FAULTS.injector  # no-op default: one check
+                if (
+                    injector is not None
+                    and injector.fire("disk-write-tear") is not None
+                ):
+                    size = os.path.getsize(tmp_name)
+                    with open(tmp_name, "r+b") as handle:
+                        handle.truncate(size // 2)
                 os.replace(tmp_name, path)
             except BaseException:
                 try:

@@ -68,6 +68,7 @@ import pickle
 import weakref
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import replace
 from math import ceil
 from typing import Any, Dict, Iterable, List, Optional, Tuple
@@ -78,10 +79,12 @@ from repro.api.result import ConnectionResult
 from repro.api.service import ConnectionService
 from repro.engine.cache import SchemaContext, schema_digest
 from repro.exceptions import ValidationError
+from repro.faults.plan import ACTIVE as _FAULTS
 from repro.kernels.shm import (
     attach_segment,
     create_segment,
     shared_memory_available,
+    sweep_orphans,
 )
 from repro.runtime.codec import decode_result, encode_result
 from repro.steiner.problem import SteinerSolution
@@ -203,7 +206,18 @@ class ParallelExecutor:
             "Shards per parallel batch.",
             buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
         )
+        self._orphans_reaped = self._metrics.counter(
+            "repro_shm_orphans_reaped_total",
+            "Orphaned repro-shm segments reclaimed by the recovery sweep.",
+        )
+        self._serial_fallbacks = self._metrics.counter(
+            "repro_shard_serial_fallbacks_total",
+            "Batches recomputed serially after a pool worker died mid-shard.",
+        )
         self._metrics.register_collector(self._collect_shm_metrics)
+        # recover segments stranded by SIGKILLed predecessors before this
+        # executor starts minting its own
+        self.reap_orphans()
 
     # ------------------------------------------------------------------
     # introspection / lifecycle
@@ -226,6 +240,21 @@ class ParallelExecutor:
     def active_segments(self) -> Tuple[str, ...]:
         """Return the names of the shared-memory segments currently owned."""
         return tuple(self._segments)
+
+    def reap_orphans(self) -> Tuple[str, ...]:
+        """Unlink ``repro-shm`` segments whose creator process is dead.
+
+        Runs :func:`~repro.kernels.shm.sweep_orphans` -- the recovery
+        path for segments stranded by a SIGKILLed parent, which neither
+        the GC finalizer nor the atexit hook could reach -- and counts
+        the reclaimed segments in ``repro_shm_orphans_reaped_total``.
+        Called automatically at construction and on :meth:`close`; safe
+        to call any time (live processes' segments are never touched).
+        """
+        reaped = sweep_orphans()
+        if reaped:
+            self._orphans_reaped.inc(len(reaped))
+        return tuple(reaped)
 
     def _collect_shm_metrics(self) -> None:
         """Export the shared-memory inventory as gauges (snapshot collector)."""
@@ -253,6 +282,7 @@ class ParallelExecutor:
             self._pool = None
         _release_segments(self._segments)
         self._transport = None
+        self.reap_orphans()
 
     def __enter__(self) -> "ParallelExecutor":
         """Return ``self`` (the pool is created lazily on first use)."""
@@ -352,6 +382,10 @@ class ParallelExecutor:
                 cache_dir=None, metrics=None
             )
             pool = self._ensure_pool()
+            # the worker-crash decision is made parent-side (workers do
+            # not share the parent's injector) and shipped as a flag the
+            # doomed worker acts on mid-shard
+            injector = _FAULTS.injector  # no-op default: one check
             futures = [
                 pool.submit(
                     _solve_shard,
@@ -359,20 +393,44 @@ class ParallelExecutor:
                     payload,
                     worker_config,
                     [replace(request, schema=None) for _, request in shard],
+                    crash=injector is not None
+                    and injector.fire("worker-crash") is not None,
                 )
                 for shard in shards
             ]
             # joining in shard order makes the propagated error the one the
             # earliest failing request raises -- exactly the serial batch's
             # all-or-nothing contract
-            for shard, future in zip(shards, futures):
-                shard_payloads, metrics_delta = future.result()
+            for index, (shard, future) in enumerate(zip(shards, futures)):
+                try:
+                    shard_payloads, metrics_delta = future.result()
+                except BrokenProcessPool:
+                    # a killed worker poisons the whole pool: discard it
+                    # and recompute every not-yet-joined shard serially
+                    # on the parent's own service, which already holds
+                    # the schema context (retry-once-serial) -- same
+                    # answers, degraded throughput, no error surfaces.
+                    # The encode round-trip keeps the downstream decode
+                    # pipeline identical to the worker path.
+                    pool.shutdown(wait=True)
+                    self._pool = None
+                    self._serial_fallbacks.inc()
+                    for retry_shard in shards[index:]:
+                        retry_results = service.batch(
+                            [request for _, request in retry_shard],
+                            schema=batch_schema,
+                        )
+                        for (position, _), result in zip(
+                            retry_shard, retry_results
+                        ):
+                            payloads[position] = encode_result(result)
+                    break
                 # fold the worker-side instruments (queries, latency,
                 # solver outcomes) into the parent registry: per-batch
                 # deltas, so reused workers never double-count
                 self._metrics.merge_snapshot(metrics_delta)
-                for (position, _), payload in zip(shard, shard_payloads):
-                    payloads[position] = payload
+                for (position, _), encoded in zip(shard, shard_payloads):
+                    payloads[position] = encoded
 
         results: List[ConnectionResult] = []
         first_solved = True
@@ -514,6 +572,7 @@ def _solve_shard(
     payload: TransportPayload,
     config: ServiceConfig,
     requests: List[ConnectionRequest],
+    crash: bool = False,
 ) -> Tuple[List[dict], dict]:
     """Answer one shard in a pool worker.
 
@@ -523,9 +582,16 @@ def _solve_shard(
     this shard moved (:func:`~repro.metrics.snapshot_delta`) -- the
     parent merges them instead of dropping the worker's registry on the
     floor.
+
+    ``crash=True`` is the parent-scheduled ``worker-crash`` fault: the
+    worker dies via :func:`os._exit` (no unwinding, no atexit -- a real
+    SIGKILL-shaped death) before answering, which breaks the pool and
+    exercises the parent's retry-once-serial fallback.
     """
     from repro.metrics import snapshot_delta
 
+    if crash:  # pragma: no cover - the exiting worker reports no coverage
+        os._exit(3)
     service = _worker_service(digest, payload, config)
     additive = ("counter", "histogram")
     before = service.metrics.snapshot(kinds=additive)

@@ -17,7 +17,12 @@ lifecycle and drain semantics.
 """
 
 from repro.server.app import ReproServer
-from repro.server.client import ReproClient, fetch_metrics
+from repro.server.client import (
+    IDEMPOTENT_COMMANDS,
+    ReproClient,
+    RetryPolicy,
+    fetch_metrics,
+)
 from repro.server.codec import (
     decode_continuation,
     decode_schema,
@@ -31,6 +36,7 @@ from repro.server.codec import (
 from repro.server.errors import (
     AdmissionError,
     AuthenticationError,
+    DeadlineError,
     ProtocolError,
     QuotaError,
     RemoteError,
@@ -42,6 +48,7 @@ from repro.server.errors import (
 from repro.server.protocol import (
     COMMANDS,
     MAX_FRAME_BYTES,
+    WIRE_FORMAT_VERSION,
     Argument,
     Command,
     encode_frame,
@@ -53,6 +60,9 @@ from repro.server.registry import SchemaRegistry, TenantLimits, TenantRecord
 __all__ = [
     "ReproServer",
     "ReproClient",
+    "RetryPolicy",
+    "IDEMPOTENT_COMMANDS",
+    "WIRE_FORMAT_VERSION",
     "fetch_metrics",
     "SchemaRegistry",
     "TenantLimits",
@@ -79,6 +89,7 @@ __all__ = [
     "AuthenticationError",
     "AdmissionError",
     "QuotaError",
+    "DeadlineError",
     "RemoteError",
     "envelope_for",
 ]

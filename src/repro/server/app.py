@@ -42,6 +42,7 @@ from typing import Dict, Optional
 from repro.api.context import request_scope
 from repro.api.request import ConnectionRequest
 from repro.dynamic.editor import SchemaEditor
+from repro.faults.plan import ACTIVE as _FAULTS
 from repro.metrics import MetricsRegistry, default_metrics
 from repro.server.codec import (
     decode_continuation,
@@ -51,8 +52,18 @@ from repro.server.codec import (
     encode_value,
     encode_wire_result,
 )
-from repro.server.errors import AuthenticationError, ProtocolError, envelope_for
-from repro.server.protocol import encode_frame, lookup_command, read_frame
+from repro.server.errors import (
+    AuthenticationError,
+    DeadlineError,
+    ProtocolError,
+    envelope_for,
+)
+from repro.server.protocol import (
+    WIRE_FORMAT_VERSION,
+    encode_frame,
+    lookup_command,
+    read_frame,
+)
 from repro.server.registry import SchemaRegistry
 
 #: Default page size for ``enumerate`` calls that specify no budget and
@@ -143,6 +154,11 @@ class ReproServer:
             "repro_server_requests_total",
             "RPC commands handled, by command and outcome.",
             ("command", "outcome"),
+        )
+        self._deadline_total = self._metrics.counter(
+            "repro_deadline_exceeded_total",
+            "Requests abandoned past their tenant's deadline_ms budget.",
+            ("tenant",),
         )
 
     # ------------------------------------------------------------------
@@ -293,6 +309,16 @@ class ReproServer:
                 return
 
     async def _send(self, writer: asyncio.StreamWriter, message: dict) -> None:
+        injector = _FAULTS.injector  # no-op default: one attribute check
+        if injector is not None:
+            rule = injector.fire("wire-frame-delay")
+            if rule is not None:
+                await asyncio.sleep(rule.delay_ms / 1000.0)
+            if injector.fire("wire-frame-drop") is not None:
+                # the frame vanishes and the connection dies with it, as
+                # a mid-write crash would look from the client's side
+                writer.close()
+                raise ConnectionResetError("fault-injected frame drop")
         writer.write(encode_frame(message))
         await writer.drain()
 
@@ -310,16 +336,49 @@ class ReproServer:
         under the tenant's lock, inside a
         :func:`~repro.api.context.request_scope` whose identity lands on
         the returned provenance.
+
+        With ``TenantLimits.deadline_ms`` set, the whole admitted span
+        (lock wait included) runs under :func:`asyncio.wait_for`; on
+        expiry the request is *abandoned* with a typed ``deadline``
+        envelope and ``repro_deadline_exceeded_total`` is incremented.
+        The worker thread may still finish its solve in the background
+        -- the deadline bounds the caller's wait, not the computation.
         """
         self._registry.authenticate(tenant, token)
-        self._registry.acquire(tenant)
+        record = self._registry.acquire(tenant)
         try:
+            deadline_ms = record.limits.deadline_ms
+            injector = _FAULTS.injector
+            if (
+                injector is not None
+                and injector.fire("deadline-exceeded") is not None
+            ):
+                self._deadline_total.labels(tenant=tenant).inc()
+                raise DeadlineError(
+                    f"tenant {tenant!r}: fault-injected deadline expiry"
+                )
             service = self._registry.service(tenant)
-            async with self._lock_for(tenant):
-                with request_scope(
-                    request_id=f"req-{next(self._request_seq)}", tenant=tenant
-                ):
-                    return await asyncio.to_thread(fn, service)
+
+            async def admitted():
+                async with self._lock_for(tenant):
+                    with request_scope(
+                        request_id=f"req-{next(self._request_seq)}",
+                        tenant=tenant,
+                    ):
+                        return await asyncio.to_thread(fn, service)
+
+            if deadline_ms is None:
+                return await admitted()
+            try:
+                return await asyncio.wait_for(
+                    admitted(), timeout=deadline_ms / 1000.0
+                )
+            except asyncio.TimeoutError:
+                self._deadline_total.labels(tenant=tenant).inc()
+                raise DeadlineError(
+                    f"tenant {tenant!r}: request exceeded "
+                    f"deadline_ms={deadline_ms}"
+                ) from None
         finally:
             self._registry.release(tenant)
 
@@ -331,6 +390,28 @@ class ReproServer:
         from repro import __version__
 
         return {"pong": True, "version": __version__}
+
+    async def _cmd_hello(self, params, writer, message_id) -> dict:
+        """Negotiate the wire-format version (ROADMAP item 2).
+
+        A client declaring any generation other than
+        :data:`~repro.server.protocol.WIRE_FORMAT_VERSION` gets a typed
+        ``protocol`` error envelope naming both versions -- a clean,
+        machine-readable refusal instead of a mid-session frame guess.
+        """
+        declared = params["version"]
+        if declared != WIRE_FORMAT_VERSION:
+            raise ProtocolError(
+                f"unsupported wire-format version {declared}; this server "
+                f"speaks version {WIRE_FORMAT_VERSION}"
+            )
+        from repro import __version__
+
+        return {
+            "version": WIRE_FORMAT_VERSION,
+            "library": __version__,
+            "client": params["client"],
+        }
 
     async def _cmd_create_schema(self, params, writer, message_id) -> dict:
         """Register a tenant from an uploaded bipartite schema."""
@@ -454,10 +535,20 @@ class ReproServer:
         enumeration streams for the tenant are dropped (their order is
         only meaningful against the schema they started on); stateless
         continuations resume against the *new* schema.
+
+        A client-supplied ``idempotency_key`` makes the call safely
+        retryable: the server remembers the response per tenant and key
+        (bounded FIFO), so a retry after a lost reply returns the
+        original response instead of applying the transaction twice.
         """
         tenant = params["tenant"]
         self._registry.authenticate(tenant, params["token"], mutating=True)
         record = self._registry.record(tenant)
+        key = params["idempotency_key"]
+        if key is not None:
+            replay = self._registry.recall_idempotent(tenant, key)
+            if replay is not None:
+                return dict(replay, deduplicated=True)
         edits = params["edits"]
 
         def apply(service):
@@ -469,7 +560,7 @@ class ReproServer:
         delta = await self._solve(tenant, params["token"], apply)
         record.mutations += 1
         self._drop_streams(tenant)
-        return {
+        response = {
             "version": record.graph.mutation_version,
             "delta": {
                 "added_vertices": len(delta.added_vertices),
@@ -478,6 +569,9 @@ class ReproServer:
                 "removed_edges": len(delta.removed_edges),
             },
         }
+        if key is not None:
+            self._registry.remember_idempotent(tenant, key, response)
+        return response
 
     async def _cmd_enumerate(self, params, writer, message_id) -> dict:
         """Stream one page of ranked connections; resumable via continuation.

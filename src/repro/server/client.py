@@ -21,6 +21,15 @@ connection that died mid-frame can never be reused half-synchronised,
 and a caller looping over requests never hangs or leaks the
 descriptor.
 
+On connect the client negotiates the wire-format version with the
+``hello`` command; an incompatible server refuses with a typed
+``protocol`` envelope instead of a mid-session frame guess.  With a
+:class:`RetryPolicy` the client survives transient transport failures:
+idempotent commands are transparently re-sent on a fresh connection
+with capped exponential backoff and seeded jitter -- ``mutate`` retries
+only when the caller supplies an ``idempotency_key`` the server dedupes
+per tenant (see ``docs/resilience.md``).
+
 Examples
 --------
 ::
@@ -37,16 +46,89 @@ from __future__ import annotations
 import http.client
 import itertools
 import json
+import random
 import socket
 import struct
-from typing import Any, Iterable, List, Optional
+import time
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Tuple
 
+from repro.exceptions import ValidationError
 from repro.graphs.bipartite import BipartiteGraph
 from repro.server.codec import encode_schema, encode_value
 from repro.server.errors import RemoteError
-from repro.server.protocol import MAX_FRAME_BYTES
+from repro.server.protocol import MAX_FRAME_BYTES, WIRE_FORMAT_VERSION
 
 _LENGTH = struct.Struct("!I")
+
+#: Commands safe to re-send blindly after a transport failure: they
+#: either read state or compute a deterministic pure answer.  ``mutate``
+#: is retried only with a client-supplied idempotency key (the server
+#: dedupes per tenant); ``create_schema``/``drop_schema`` are excluded
+#: because an applied-then-lost reply would make the retry fail loudly.
+IDEMPOTENT_COMMANDS = frozenset(
+    {
+        "ping",
+        "hello",
+        "list_schemas",
+        "connect",
+        "batch",
+        "interpret",
+        "enumerate",
+        "stats",
+        "metrics",
+    }
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side retry schedule: capped exponential backoff, seeded jitter.
+
+    Attributes
+    ----------
+    attempts:
+        Total tries per call (the first send included).
+    backoff_s / multiplier / max_backoff_s:
+        Attempt ``k`` (0-based) sleeps ``backoff_s * multiplier**k``
+        seconds, capped at ``max_backoff_s``, before re-sending.
+    jitter:
+        Fraction of the capped backoff added uniformly at random -- from
+        a ``random.Random(seed)`` private to each client, never from
+        ambient process state, so retry timing replays with the run.
+    retry_kinds:
+        The client-side error kinds worth a retry.  Only transport-level
+        kinds belong here; a server-*sent* envelope (validation, quota,
+        deadline, ...) means the request was judged, not lost.
+    """
+
+    attempts: int = 3
+    backoff_s: float = 0.05
+    multiplier: float = 2.0
+    max_backoff_s: float = 1.0
+    jitter: float = 0.25
+    seed: int = 0
+    retry_kinds: Tuple[str, ...] = ("transport", "timeout")
+
+    def __post_init__(self) -> None:
+        """Validate the schedule parameters."""
+        if self.attempts < 1:
+            raise ValidationError("RetryPolicy.attempts must be >= 1")
+        if self.backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValidationError("RetryPolicy backoffs must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValidationError("RetryPolicy.multiplier must be >= 1.0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValidationError("RetryPolicy.jitter must be in [0, 1]")
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """The sleep before re-send number ``attempt`` (0-based)."""
+        base = min(
+            self.backoff_s * (self.multiplier ** attempt), self.max_backoff_s
+        )
+        if self.jitter:
+            base += base * self.jitter * rng.random()
+        return base
 
 
 class _ClientSideError(RemoteError):
@@ -64,33 +146,72 @@ class ReproClient:
     """Blocking JSON-over-TCP client (context-manager friendly)."""
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 7463, timeout: float = 30.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7463,
+        timeout: float = 30.0,
+        *,
+        retry: Optional[RetryPolicy] = None,
+        hello: bool = True,
     ) -> None:
         """Connect immediately; ``timeout`` bounds every socket operation.
 
         Raises :class:`RemoteError` with kind ``"transport"`` when the
         connection is refused (or the host is unreachable) and kind
         ``"timeout"`` when the connect itself exceeds ``timeout``.
+
+        Unless ``hello=False``, the first command on every (re)connected
+        socket is ``hello`` declaring
+        :data:`~repro.server.protocol.WIRE_FORMAT_VERSION`; a server
+        speaking another generation refuses with a typed ``protocol``
+        envelope.  With a :class:`RetryPolicy`, idempotent commands that
+        fail with a retryable client-side kind are re-sent on a fresh
+        connection per the policy's schedule.
         """
+        self._host = host
+        self._port = port
         self._timeout = timeout
+        self._retry = retry
+        self._hello = hello
+        self._rng = random.Random(retry.seed if retry is not None else 0)
+        self._sock: Optional[socket.socket] = None
+        self._seq = itertools.count(1)
+        self._connect()
+
+    def _connect(self) -> None:
+        """(Re)establish the socket and run the version handshake."""
+        host, port, timeout = self._host, self._port, self._timeout
         try:
             self._sock = socket.create_connection((host, port), timeout=timeout)
         except socket.timeout as error:
-            raise RemoteError(
+            raise _ClientSideError(
                 "timeout",
                 f"connecting to {host}:{port} timed out after {timeout}s",
             ) from error
         except OSError as error:
-            raise RemoteError(
+            raise _ClientSideError(
                 "transport", f"cannot connect to {host}:{port}: {error}"
             ) from error
-        self._seq = itertools.count(1)
+        if self._hello:
+            try:
+                self._call_once(
+                    "hello",
+                    {
+                        "version": WIRE_FORMAT_VERSION,
+                        "client": f"repro-client/{WIRE_FORMAT_VERSION}",
+                    },
+                )
+            except RemoteError:
+                self.close()
+                raise
 
     # ------------------------------------------------------------------
     # transport
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Close the connection (idempotent)."""
+        if self._sock is None:
+            return
         try:
             self._sock.close()
         except OSError:
@@ -105,9 +226,12 @@ class ReproClient:
         self.close()
 
     def _recv_exactly(self, count: int) -> bytes:
+        sock = self._sock
+        if sock is None:
+            raise _ClientSideError("transport", "connection is closed")
         chunks = []
         while count:
-            chunk = self._sock.recv(count)
+            chunk = sock.recv(count)
             if not chunk:
                 raise _ClientSideError(
                     "transport", "server closed the connection mid-frame"
@@ -144,7 +268,36 @@ class ReproClient:
         ``"transport"`` / ``"timeout"`` / ``"protocol"``), which also
         close the socket -- after a half-read frame the stream can
         never be resynchronised.
+
+        With a :class:`RetryPolicy` installed and the command idempotent
+        (or ``mutate`` carrying an ``idempotency_key``), retryable
+        client-side failures trigger reconnect-and-resend per the
+        policy's backoff schedule instead of raising immediately.
         """
+        policy = self._retry
+        retryable = policy is not None and (
+            command in IDEMPOTENT_COMMANDS
+            or (command == "mutate" and params.get("idempotency_key") is not None)
+        )
+        attempt = 0
+        while True:
+            try:
+                if self._sock is None or self._sock.fileno() < 0:
+                    self._connect()
+                return self._call_once(command, params)
+            except _ClientSideError as error:
+                if (
+                    not retryable
+                    or error.kind not in policy.retry_kinds
+                    or attempt + 1 >= policy.attempts
+                ):
+                    raise
+                time.sleep(policy.delay(attempt, self._rng))
+                attempt += 1
+                self.close()
+
+    def _call_once(self, command: str, params: dict) -> dict:
+        """One send/receive exchange on the current socket (no retry)."""
         message_id = next(self._seq)
         payload = json.dumps(
             {
@@ -301,9 +454,20 @@ class ReproClient:
         )["results"]
 
     def mutate(
-        self, tenant: str, edits: List[dict], *, token: Optional[str] = None
+        self,
+        tenant: str,
+        edits: List[dict],
+        *,
+        token: Optional[str] = None,
+        idempotency_key: Optional[str] = None,
     ) -> dict:
-        """Apply one transactional schema evolution."""
+        """Apply one transactional schema evolution.
+
+        Pass an ``idempotency_key`` to make the call safely retryable:
+        the server remembers the response per tenant and key, so a retry
+        after a lost reply replays the original response instead of
+        applying the transaction twice.
+        """
         encoded = []
         for edit in edits:
             record = dict(edit)
@@ -311,7 +475,13 @@ class ReproClient:
                 if key in record:
                     record[key] = encode_value(record[key])
             encoded.append(record)
-        return self.call("mutate", tenant=tenant, token=token, edits=encoded)
+        return self.call(
+            "mutate",
+            tenant=tenant,
+            token=token,
+            edits=encoded,
+            idempotency_key=idempotency_key,
+        )
 
     def enumerate(
         self,
@@ -374,4 +544,4 @@ def fetch_metrics(
         connection.close()
 
 
-__all__ = ["ReproClient", "fetch_metrics"]
+__all__ = ["ReproClient", "RetryPolicy", "IDEMPOTENT_COMMANDS", "fetch_metrics"]

@@ -63,6 +63,12 @@ class QuotaError(ServerError):
     kind = "quota"
 
 
+class DeadlineError(ServerError):
+    """The request exceeded the tenant's ``deadline_ms`` admission budget."""
+
+    kind = "deadline"
+
+
 class RemoteError(ReproError):
     """Client-side mirror of a server error envelope.
 

@@ -28,6 +28,12 @@ from typing import Dict, Optional, Tuple
 
 from repro.server.errors import ProtocolError
 
+#: The wire-format generation this server speaks.  ``hello`` negotiates
+#: it explicitly: a client declaring any other generation receives a
+#: typed ``protocol`` error envelope instead of a mid-session guess.
+#: Bump only on incompatible frame/command-table changes.
+WIRE_FORMAT_VERSION = 1
+
 #: Upper bound on one frame's JSON payload.  Large enough for a
 #: several-hundred-thousand-edge schema upload, small enough that a
 #: corrupt or hostile length prefix cannot balloon server memory.
@@ -176,6 +182,13 @@ COMMANDS: Dict[str, Command] = {
     for command in (
         Command("ping"),
         Command(
+            "hello",
+            (
+                Argument("version", (int,), required=True),
+                Argument("client", (str,)),
+            ),
+        ),
+        Command(
             "create_schema",
             _tenant_arguments(
                 Argument("schema", (dict,), required=True),
@@ -218,6 +231,7 @@ COMMANDS: Dict[str, Command] = {
             "mutate",
             _tenant_arguments(
                 Argument("edits", (list,), required=True),
+                Argument("idempotency_key", (str,)),
             ),
         ),
         Command(

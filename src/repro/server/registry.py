@@ -67,11 +67,16 @@ class TenantLimits:
         Upper bound on ``batch``/``interpret`` lengths.
     max_terminals:
         Upper bound on one request's terminal count.
+    deadline_ms:
+        Optional per-request wall-clock budget enforced at the admission
+        layer; requests that run past it are abandoned with a typed
+        ``deadline`` error envelope (``None`` = no deadline).
     """
 
     max_inflight: int = 64
     max_batch_requests: int = 1024
     max_terminals: int = 256
+    deadline_ms: Optional[int] = None
 
     def __post_init__(self) -> None:
         if (
@@ -80,6 +85,8 @@ class TenantLimits:
             or self.max_terminals < 1
         ):
             raise ValidationError("tenant limits must be positive")
+        if self.deadline_ms is not None and self.deadline_ms < 1:
+            raise ValidationError("deadline_ms must be >= 1 when set")
 
 
 @dataclass
@@ -96,6 +103,8 @@ class TenantRecord:
     serial: int = 0
     evictions: int = 0
     mutations: int = field(default=0)
+    # mutate idempotency: key -> cached response payload, bounded FIFO
+    applied_keys: "OrderedDict[str, dict]" = field(default_factory=OrderedDict)
 
 
 def _hash_token(token: str) -> str:
@@ -115,7 +124,17 @@ CONFIG_FIELDS = (
 )
 
 #: TenantLimits fields a ``create_schema`` upload may set.
-LIMIT_FIELDS = ("max_inflight", "max_batch_requests", "max_terminals")
+LIMIT_FIELDS = (
+    "max_inflight",
+    "max_batch_requests",
+    "max_terminals",
+    "deadline_ms",
+)
+
+#: How many mutate idempotency keys each tenant retains (FIFO).  A
+#: retrying client needs only its most recent keys; the bound keeps a
+#: hostile or buggy client from growing the record without limit.
+MAX_IDEMPOTENCY_KEYS = 128
 
 
 class SchemaRegistry:
@@ -358,6 +377,25 @@ class SchemaRegistry:
             return
         if not hmac.compare_digest(record.token_hash, _hash_token(token)):
             raise AuthenticationError(f"invalid token for tenant {name!r}")
+
+    # ------------------------------------------------------------------
+    # mutate idempotency
+    # ------------------------------------------------------------------
+    def recall_idempotent(self, name: str, key: str) -> Optional[dict]:
+        """Return the cached mutate response for ``key``, if already applied.
+
+        The dedupe store is per tenant: a client that retried a mutate
+        after a lost reply gets the original response back instead of a
+        double-applied transaction.
+        """
+        return self._record(name).applied_keys.get(key)
+
+    def remember_idempotent(self, name: str, key: str, response: dict) -> None:
+        """Record a mutate response under its idempotency key (bounded FIFO)."""
+        applied = self._record(name).applied_keys
+        applied[key] = response
+        while len(applied) > MAX_IDEMPOTENCY_KEYS:
+            applied.popitem(last=False)
 
     # ------------------------------------------------------------------
     # drain support / observability

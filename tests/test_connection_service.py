@@ -557,7 +557,7 @@ class TestPackaging:
     def test_version_and_exports(self):
         import repro
 
-        assert repro.__version__ == "1.9.0"
+        assert repro.__version__ == "1.10.0"
         for name in (
             "BlockClassifier",
             "ConnectionRequest",
@@ -566,6 +566,7 @@ class TestPackaging:
             "DiskCache",
             "DistanceOracle",
             "EnumerationStream",
+            "FaultPlan",
             "Guarantee",
             "LoadReport",
             "LoadSpec",
@@ -573,6 +574,7 @@ class TestPackaging:
             "NullRegistry",
             "ParallelExecutor",
             "Provenance",
+            "RetryPolicy",
             "SchemaDelta",
             "SchemaEditor",
             "ServiceConfig",

@@ -167,6 +167,27 @@ def test_required_coverage_is_present():
     # the load guide is reachable from the server and observability guides
     for page in ("server.md", "observability.md"):
         assert "load.md" in corpus[page], f"{page} misses the load cross-link"
+    # resilience guide: fault plane, sites, deadlines, retries, chaos gate
+    for needle in (
+        "repro.faults",
+        "FaultPlan",
+        "deadline_ms",
+        "RetryPolicy",
+        "idempotency_key",
+        "hello",
+        "--chaos",
+        "serial oracle",
+        "disk-write-tear",
+        "worker-crash",
+        "repro_deadline_exceeded_total",
+        "repro_shm_orphans_reaped_total",
+    ):
+        assert needle in corpus["resilience.md"], f"resilience.md misses {needle}"
+    # and it is reachable from the layers whose failures it specifies
+    for page in ("server.md", "load.md", "runtime.md"):
+        assert "resilience.md" in corpus[page], (
+            f"{page} misses the resilience cross-link"
+        )
     # migration note and enumeration contract
     assert "MinimalConnectionFinder" in corpus["migration.md"]
     assert "extend_budget" in corpus["enumeration.md"]

@@ -1,9 +1,9 @@
 """Docstring coverage of the public API surface, enforced via ``ast``.
 
 CI runs ruff's pydocstyle rules (``D10x``, see ``pyproject.toml``) over
-``repro.api``, ``repro.dynamic``, ``repro.kernels``, ``repro.load``,
-``repro.metrics``, ``repro.engine.batch``, ``repro.runtime`` and
-``repro.server``; this test enforces the
+``repro.api``, ``repro.dynamic``, ``repro.faults``, ``repro.kernels``,
+``repro.load``, ``repro.metrics``, ``repro.engine.batch``,
+``repro.runtime`` and ``repro.server``; this test enforces the
 same contract locally without
 needing ruff installed: every public module, class, function, method and
 property in those packages must carry a non-empty docstring.
@@ -22,6 +22,7 @@ SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
 TARGETS = sorted(
     list((SRC / "api").glob("*.py"))
     + list((SRC / "dynamic").glob("*.py"))
+    + list((SRC / "faults").glob("*.py"))
     + list((SRC / "kernels").glob("*.py"))
     + list((SRC / "load").glob("*.py"))
     + list((SRC / "metrics").glob("*.py"))
@@ -62,6 +63,6 @@ def test_public_surface_is_documented(path):
 
 
 def test_target_list_is_nonempty():
-    # api (6) + dynamic (4) + kernels (4) + load (7) + metrics (3)
-    # + runtime (6) + server (7) + engine/batch
-    assert len(TARGETS) >= 37
+    # api (6) + dynamic (4) + faults (2) + kernels (4) + load (8)
+    # + metrics (3) + runtime (6) + server (7) + engine/batch
+    assert len(TARGETS) >= 40

@@ -688,7 +688,7 @@ class TestClientFailureModes:
             conn.sendall(struct.pack("!I", 100) + b'{"par')
 
         with misbehaving_server(die_mid_frame) as port:
-            client = ReproClient("127.0.0.1", port, timeout=5.0)
+            client = ReproClient("127.0.0.1", port, timeout=5.0, hello=False)
             with pytest.raises(RemoteError) as excinfo:
                 client.ping()
             assert excinfo.value.kind == "transport"
@@ -701,7 +701,7 @@ class TestClientFailureModes:
             conn.sendall(struct.pack("!I", 2**31))  # 2 GiB declared
 
         with misbehaving_server(huge_length) as port:
-            client = ReproClient("127.0.0.1", port, timeout=5.0)
+            client = ReproClient("127.0.0.1", port, timeout=5.0, hello=False)
             with pytest.raises(RemoteError) as excinfo:
                 client.ping()
             assert excinfo.value.kind == "protocol"
@@ -713,7 +713,7 @@ class TestClientFailureModes:
             conn.recv(4096)
 
         with misbehaving_server(echo_nothing) as port:
-            client = ReproClient("127.0.0.1", port, timeout=5.0)
+            client = ReproClient("127.0.0.1", port, timeout=5.0, hello=False)
             with pytest.raises(RemoteError) as excinfo:
                 client.call("connect", blob="x" * (MAX_FRAME_BYTES + 1))
             assert excinfo.value.kind == "protocol"
@@ -724,7 +724,7 @@ class TestClientFailureModes:
             threading.Event().wait(8)  # outlive the client timeout
 
         with misbehaving_server(never_reply) as port:
-            client = ReproClient("127.0.0.1", port, timeout=0.5)
+            client = ReproClient("127.0.0.1", port, timeout=0.5, hello=False)
             with pytest.raises(RemoteError) as excinfo:
                 client.ping()
             assert excinfo.value.kind == "timeout"
@@ -737,7 +737,7 @@ class TestClientFailureModes:
             conn.sendall(struct.pack("!I", len(body)) + body)
 
         with misbehaving_server(garbage) as port:
-            client = ReproClient("127.0.0.1", port, timeout=5.0)
+            client = ReproClient("127.0.0.1", port, timeout=5.0, hello=False)
             with pytest.raises(RemoteError) as excinfo:
                 client.ping()
             assert excinfo.value.kind == "protocol"
